@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from a completed benchmark run.
+
+``pytest benchmarks/ --benchmark-only`` writes every rendered table to
+``bench_results/<name>.txt``.  This script stitches those artifacts together
+with the paper's reported numbers into EXPERIMENTS.md — a cheap alternative
+to re-running everything via ``run_all.py`` when a bench run just finished.
+
+Usage:
+    python benchmarks/assemble_experiments.py [--scale small] [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "bench_results"
+
+#: (results file, section title, the paper's claim, how to read our shape)
+SECTIONS = [
+    (
+        "fig1a",
+        "Figure 1a — throughput vs latency, 95:5 r:w",
+        "PaRiS achieves up to 1.47x higher throughput with up to 5.91x lower "
+        "latency than BPR (read-heavy).",
+        "PaRiS dominates BPR at every load point: higher peak throughput and "
+        "several-fold lower latency, with BPR's deficit set by its read "
+        "blocking (one-way peer latency + apply period).",
+    ),
+    (
+        "fig1b",
+        "Figure 1b — throughput vs latency, 50:50 r:w",
+        "Up to 1.46x higher throughput with up to 20.56x lower latency "
+        "(write-heavy).",
+        "Same dominance; the blocking penalty is at least as large as in the "
+        "read-heavy mix because reads wait behind a longer commit pipeline.",
+    ),
+    (
+        "blocking_time",
+        "Section V-B — BPR read blocking time",
+        "29 ms (95:5) and 41 ms (50:50) average blocking at top throughput.",
+        "Tens of milliseconds per blocked read, nearly every read blocks; "
+        "the magnitude tracks the one-way WAN latency to the peer replica.",
+    ),
+    (
+        "fig2a",
+        "Figure 2a — scalability in machines per DC",
+        "Ideal 3x speedup scaling 6 -> 18 machines/DC (both 3 and 5 DCs).",
+        "Near-ideal scaling of saturated throughput with machines/DC "
+        "(transaction footprint held constant across configurations).",
+    ),
+    (
+        "fig2b",
+        "Figure 2b — scalability in number of DCs",
+        "Ideal 3.33x speedup scaling 3 -> 10 DCs (both 6 and 12 machines/DC).",
+        "Near-ideal scaling of saturated throughput with the DC count.",
+    ),
+    (
+        "fig3a",
+        "Figure 3a — throughput vs locality",
+        "Throughput drops only ~16% (350 -> 300 KTx/s) from 100:0 to 50:50; "
+        "saturation needs 32 -> 512 threads.",
+        "Mild saturated-throughput decline while the threads needed to "
+        "saturate grow sharply with remote traffic.",
+    ),
+    (
+        "fig3b",
+        "Figure 3b — latency vs locality",
+        "Average latency grows 8 -> 150 ms across the same sweep.",
+        "Latency grows monotonically and by several-fold: WAN round trips "
+        "dominate once transactions leave the DC.",
+    ),
+    (
+        "fig4",
+        "Figure 4 — update visibility latency CDF",
+        "BPR is strictly fresher; ~200 ms worst-case difference at 5 DCs.",
+        "BPR's CDF sits left of PaRiS's at every percentile; PaRiS's tail is "
+        "bounded by the WAN diameter plus gossip/apply rounds — the "
+        "freshness-for-performance trade-off the paper accepts.",
+    ),
+    (
+        "table1",
+        "Table I — taxonomy of CC systems",
+        "PaRiS is the only system with generic transactions, non-blocking "
+        "reads, partial replication, and 1-timestamp metadata.",
+        "Regenerated from the systems knowledge base; the uniqueness query "
+        "returns exactly PaRiS.",
+    ),
+    (
+        "capacity",
+        "Storage capacity — partial vs full replication (Sections I/V claim)",
+        "PaRiS handles larger datasets than full-replication systems.",
+        "Each DC stores R/M of the dataset (measured = modelled), i.e. M/R "
+        "times the capacity of full replication on the same hardware.",
+    ),
+    (
+        "propagation",
+        "Update propagation cost — partial vs full replication (Section I claim)",
+        "Partial replication means 'updates performed in one DC are "
+        "propagated to fewer replicas'.",
+        "Per committed transaction, inter-DC replication traffic grows with "
+        "the replication factor; RF = 2 ships a fraction of what full "
+        "replication ships.",
+    ),
+    (
+        "ablation_stabilization",
+        "Ablation — stabilization period (ours)",
+        "(The paper fixes Delta_G = Delta_U = 5 ms without a sensitivity "
+        "study.)",
+        "Staleness and visibility degrade as the period grows; throughput is "
+        "flat — gossip is off the critical path, so 5 ms freshness is "
+        "essentially free.",
+    ),
+    (
+        "ablation_cache",
+        "Ablation — client write cache (ours)",
+        "Section III-B: 'UST alone cannot enforce causality.'",
+        "Disabling the cache yields read-your-writes violations caught by the "
+        "checker; intact PaRiS under identical settings has none.",
+    ),
+    (
+        "ablation_clocks",
+        "Ablation — HLC vs logical clocks (ours)",
+        "Section III-B: HLCs improve UST freshness over logical clocks.",
+        "Logical clocks advance only on events, so visibility latency "
+        "degrades (most at the tail); HLC keeps it bounded.",
+    ),
+]
+
+
+def _headline_table() -> str:
+    """The abstract's numbers next to ours, parsed from the fig1 summaries."""
+    import re
+
+    rows = []
+    paper = {"95:5": ("1.47x", "5.91x"), "50:50": ("1.46x", "20.56x")}
+    for name, mix in (("fig1a", "95:5"), ("fig1b", "50:50")):
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            return ""
+        summary = path.read_text().rstrip().splitlines()[-1]
+        match = re.search(
+            r"throughput gain ([0-9.]+x), latency ratio ([0-9.]+x)", summary
+        )
+        if not match:
+            return ""
+        gain, ratio = match.groups()
+        paper_gain, paper_ratio = paper[mix]
+        rows.append(
+            f"| {mix} | up to {paper_gain} | **{gain}** | "
+            f"up to {paper_ratio} | **{ratio}** |"
+        )
+    return "\n".join(
+        [
+            "| r:w mix | paper throughput gain | measured | paper latency gain | measured |",
+            "|---|---|---|---|---|",
+            *rows,
+        ]
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--out", default=str(ROOT / "EXPERIMENTS.md"))
+    args = parser.parse_args()
+
+    missing = [name for name, *_ in SECTIONS if not (RESULTS / f"{name}.txt").exists()]
+    if missing:
+        print(f"missing bench results: {missing}; run pytest benchmarks/ first")
+        return 1
+
+    parts = [
+        "# EXPERIMENTS — paper vs measured\n",
+        f"Assembled from `pytest benchmarks/ --benchmark-only` artifacts "
+        f"(`bench_results/`), scale `{args.scale}`.  The substrate is the "
+        "deterministic simulation described in DESIGN.md, so absolute numbers "
+        "are not comparable to the paper's C++/EC2 testbed; each section "
+        "pairs the paper's claim with the measured **shape** (direction, "
+        "ratios, crossovers), which every bench also asserts "
+        "programmatically.\n",
+    ]
+    headline = _headline_table()
+    if headline:
+        parts.append("## Headline comparison\n\n" + headline + "\n")
+    for name, title, paper_claim, measured in SECTIONS:
+        body = (RESULTS / f"{name}.txt").read_text().rstrip()
+        parts.append(
+            f"## {title}\n\n**Paper:** {paper_claim}\n\n```\n{body}\n```\n\n"
+            f"**Measured shape:** {measured}\n"
+        )
+    parts.append(
+        "---\n\nRegenerate: `pytest benchmarks/ --benchmark-only && python "
+        "benchmarks/assemble_experiments.py` (or `python benchmarks/run_all.py` "
+        "to re-run everything in one process).\n"
+    )
+    pathlib.Path(args.out).write_text("\n".join(parts))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

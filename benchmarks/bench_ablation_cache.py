@@ -1,0 +1,23 @@
+"""Ablation: the client-side write cache is load-bearing.
+
+Section III-B: "UST alone cannot enforce causality" — the commit timestamp
+of a transaction is above the stable snapshot of the next one, so without
+the private cache a client loses read-your-writes.  The bench disables the
+cache and shows the consistency checker catching the violations that real
+PaRiS (run under identical settings) does not produce.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_ablation_client_cache(once, emit, scale):
+    rows = once(lambda: exp.ablation_client_cache(scale))
+    emit("ablation_cache", report.render_cache_ablation(rows))
+    healthy, broken = rows
+    assert healthy.protocol_variant == "paris"
+    assert healthy.violations == 0
+    assert broken.violations > 0
+    assert "read-your-writes" in broken.violation_kinds

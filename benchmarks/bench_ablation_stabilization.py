@@ -1,0 +1,25 @@
+"""Ablation: sensitivity to the stabilization period (Delta_G / Delta_U).
+
+The paper runs its stabilization every 5 ms without exploring the choice.
+This ablation quantifies the trade-off DESIGN.md calls out: a shorter period
+buys fresher UST snapshots (lower data staleness and visibility latency) at
+the price of more gossip messages; throughput is essentially unaffected
+because gossip is off the critical path.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_ablation_stabilization(once, emit, scale):
+    rows = once(lambda: exp.ablation_stabilization(scale))
+    emit("ablation_stabilization", report.render_stabilization(rows))
+    assert len(rows) >= 3
+    # Staleness grows with the period...
+    staleness = [row.ust_staleness for row in rows]
+    assert staleness[0] < staleness[-1]
+    # ...while throughput stays within a modest band (gossip is cheap).
+    throughputs = [row.throughput for row in rows]
+    assert max(throughputs) < min(throughputs) * 1.5

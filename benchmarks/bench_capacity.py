@@ -1,0 +1,28 @@
+"""Section I / VI claim: partial replication handles larger datasets.
+
+"PaRiS ... being able to handle larger data-sets than existing solutions
+that assume full replication."  With M DCs and replication factor R each DC
+stores R/M of the data, so capacity improves by M/R.  The bench validates
+the model against measured per-DC version counts of live clusters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_capacity(once, scale, emit):
+    rows = once(lambda: exp.capacity_comparison(scale))
+    emit("capacity", report.render_capacity(rows))
+    partial, full = rows
+    expected_multiplier = scale.n_dcs / scale.replication_factor
+    assert partial.capacity_multiplier == pytest.approx(expected_multiplier)
+    assert full.capacity_multiplier == 1.0
+    # Measured footprints follow the model: per-DC storage ratio == R/M.
+    measured_ratio = partial.measured_versions_per_dc / full.measured_versions_per_dc
+    assert measured_ratio == pytest.approx(
+        scale.replication_factor / scale.n_dcs, rel=0.05
+    )

@@ -1,0 +1,34 @@
+"""Figure 1a: throughput vs average latency, PaRiS vs BPR, 95:5 r:w.
+
+Paper result (Section V-B): PaRiS achieves up to 1.47x higher throughput
+with up to 5.91x lower latency than BPR on the read-heavy mix.  The
+reproduction checks the *shape*: PaRiS strictly dominates — higher peak
+throughput and lower latency at every load point.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_figure_1a(once, scale, emit):
+    points = once(lambda: exp.figure_1("95:5", scale=scale))
+    summary = exp.summarize_figure_1("95:5", points)
+    emit(
+        "fig1a",
+        report.render_figure_1("95:5", points)
+        + "\n"
+        + report.render_figure_1_summary(summary),
+    )
+    # Shape assertions against the paper.
+    assert summary.throughput_gain > 1.0, "PaRiS must out-throughput BPR"
+    assert summary.latency_ratio > 2.0, "PaRiS must be several times faster"
+    paris = [p for p in points if p.protocol == "paris"]
+    bpr = [p for p in points if p.protocol == "bpr"]
+    # At matched thread counts PaRiS is never slower.
+    by_threads = {p.threads: p for p in paris}
+    for point in bpr:
+        twin = by_threads.get(point.threads)
+        if twin is not None:
+            assert twin.result.latency_mean < point.result.latency_mean

@@ -1,0 +1,23 @@
+"""Figure 2a: PaRiS throughput when varying machines per DC.
+
+Paper result (Section V-C): "PaRiS achieves the ideal improvement of 3x when
+scaling from 6 to 18 machines/DC" for both 3-DC and 5-DC deployments.  The
+shape check: scaling machines/DC by a factor k multiplies saturated
+throughput by nearly k, for every DC count.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_figure_2a(once, scale, emit):
+    points = once(lambda: exp.figure_2a(scale))
+    emit("fig2a", report.render_figure_2(points, "2a"))
+    ideal = max(scale.fig2a_machines) / min(scale.fig2a_machines)
+    factors = exp.scaling_factor(points, by="dcs")
+    for n_dcs, factor in factors.items():
+        assert factor > ideal * 0.6, (
+            f"{n_dcs} DCs: got {factor:.2f}x scaling, ideal {ideal:.2f}x"
+        )

@@ -1,0 +1,22 @@
+"""Figure 2b: PaRiS throughput when varying the number of DCs.
+
+Paper result (Section V-C): "PaRiS achieves the ideal improvement of 3.33x
+when scaling from 3 to 10 DCs" for both 6 and 12 machines/DC.  The shape
+check: saturated throughput grows near-linearly in the number of DCs.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as exp
+from repro.bench import report
+
+
+def test_figure_2b(once, scale, emit):
+    points = once(lambda: exp.figure_2b(scale))
+    emit("fig2b", report.render_figure_2(points, "2b"))
+    ideal = max(scale.fig2b_dcs) / min(scale.fig2b_dcs)
+    factors = exp.scaling_factor(points, by="machines")
+    for machines, factor in factors.items():
+        assert factor > ideal * 0.6, (
+            f"{machines} machines/DC: got {factor:.2f}x scaling, ideal {ideal:.2f}x"
+        )

@@ -1,0 +1,25 @@
+"""Figure 3a: PaRiS throughput when varying transaction locality.
+
+Paper result (Section V-D): saturated throughput drops only mildly (350 to
+300 KTx/s, ~16 %) from 100:0 to 50:50 locality — because saturation is
+CPU-bound, not latency-bound, once enough threads are offered (the paper
+went from 32 to 512 threads).  Shape check: the 50:50 point retains most of
+the 100:0 throughput.
+"""
+
+from __future__ import annotations
+
+from repro.bench import report
+
+
+def test_figure_3a(fig3_points, emit, benchmark):
+    points = benchmark.pedantic(lambda: fig3_points, rounds=1, iterations=1)
+    emit("fig3a", report.render_figure_3(points))
+    by_locality = {p.locality: p for p in points}
+    fully_local = by_locality[1.0].result.throughput
+    half_local = by_locality[0.5].result.throughput
+    assert half_local > fully_local * 0.5, (
+        f"throughput collapsed: {fully_local:.0f} -> {half_local:.0f} tx/s"
+    )
+    # More threads are needed to saturate as locality decreases.
+    assert by_locality[0.5].threads_at_peak >= by_locality[1.0].threads_at_peak

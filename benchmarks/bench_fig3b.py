@@ -1,0 +1,21 @@
+"""Figure 3b: PaRiS latency when varying transaction locality.
+
+Paper result (Section V-D): average latency at saturation grows by an order
+of magnitude (8 ms to 150 ms) from 100:0 to 50:50 locality, because
+transactions spend their time crossing the WAN.  Shape check: latency grows
+monotonically and by several-fold over the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.bench import report
+
+
+def test_figure_3b(fig3_points, emit, benchmark):
+    points = benchmark.pedantic(lambda: fig3_points, rounds=1, iterations=1)
+    emit("fig3b", report.render_figure_3(points))
+    latencies = [p.result.latency_mean for p in points]  # descending locality
+    assert latencies == sorted(latencies), "latency must grow as locality drops"
+    assert latencies[-1] > latencies[0] * 3, (
+        "50:50 latency should be several times the 100:0 latency"
+    )

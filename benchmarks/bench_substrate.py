@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+hot paths everything else stands on: the event kernel, the multi-version
+store, HLC generation, and the zipfian sampler.  They catch substrate
+regressions that would otherwise masquerade as protocol slowdowns in the
+figure benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.clocks.hlc import HybridLogicalClock
+from repro.clocks.physical import PhysicalClock
+from repro.sim.kernel import Simulator
+from repro.storage.mvstore import MultiVersionStore
+from repro.workload.zipfian import ZipfianGenerator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.call_after(0.001, tick)
+
+        sim.call_after(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_kernel_process_switching(benchmark):
+    """Cost of suspending/resuming generator processes."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(1_000):
+                yield 0.001
+
+        for _ in range(10):
+            sim.spawn(proc())
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) >= 10_000
+
+
+def test_mvstore_apply_and_read(benchmark):
+    """Mixed insert + snapshot-read workload on one store."""
+
+    def run():
+        store = MultiVersionStore()
+        for i in range(200):
+            store.preload(f"k{i}", "init")
+        hits = 0
+        for i in range(5_000):
+            key = f"k{i % 200}"
+            store.apply(key, i, ut=i + 1, tid=(i, 1), sr=0)
+            if store.read(key, i // 2) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) > 0
+
+
+def test_hlc_generation(benchmark):
+    """Raw HLC now()/update() cost."""
+
+    def run():
+        sim = Simulator()
+        hlc = HybridLogicalClock(PhysicalClock(sim))
+        last = 0
+        for i in range(10_000):
+            last = hlc.update(last + i) if i % 3 == 0 else hlc.now()
+        return last
+
+    assert benchmark(run) > 0
+
+
+def test_zipfian_sampling(benchmark):
+    """Sampling cost of the YCSB zipfian generator."""
+    gen = ZipfianGenerator(10_000, theta=0.99)
+
+    def run():
+        rng = random.Random(7)
+        return sum(gen.sample(rng) for _ in range(10_000))
+
+    assert benchmark(run) >= 0

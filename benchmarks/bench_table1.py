@@ -1,0 +1,27 @@
+"""Table I: taxonomy of causally consistent systems.
+
+Regenerates the paper's Table I from the systems knowledge base and checks
+its headline claim: PaRiS is the only system combining generic transactions,
+non-blocking parallel reads, partial replication, and constant (single
+timestamp) dependency meta-data.
+"""
+
+from __future__ import annotations
+
+from repro.bench import report
+
+
+def test_table_1(once, emit):
+    text = once(lambda: report.render_table_1())
+    emit("table1", text)
+    assert report.unique_full_support() == ["PaRiS (this work)"]
+    # Spot-check rows against the paper.
+    by_name = {entry.name: entry for entry in report.TAXONOMY}
+    assert by_name["Cure"].transactions == "Generic"
+    assert not by_name["Cure"].nonblocking_reads
+    assert by_name["Wren"].nonblocking_reads
+    assert not by_name["Wren"].partial_replication
+    assert by_name["Saturn"].partial_replication
+    assert by_name["Saturn"].metadata == "1 ts"
+    paris = by_name["PaRiS (this work)"]
+    assert paris.metadata == "1 ts"

@@ -1,0 +1,56 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper at the
+scale selected by ``REPRO_BENCH_SCALE`` (small | medium | paper; default
+small).  Rendered tables are printed (visible with ``-s``) and written to
+``bench_results/`` so EXPERIMENTS.md can be assembled from a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import experiments as exp
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> exp.BenchScale:
+    """The benchmark scale selected via REPRO_BENCH_SCALE."""
+    return exp.current_scale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered report and persist it under bench_results/."""
+
+    def _emit(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return text
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def fig3_points(scale):
+    """Figure 3's locality sweep, shared by the 3a and 3b benches."""
+    return exp.figure_3(scale)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are long deterministic simulations; statistical rounds
+    would triple the wall time without adding information.
+    """
+
+    def _once(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _once

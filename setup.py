@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Kept so editable installs work on environments whose setuptools predates
+PEP 660 (no bdist_wheel / build isolation available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""PaRiS reproduction: TCC with non-blocking reads and partial replication.
+
+Public API surface:
+
+* :class:`~repro.config.SimulationConfig` and friends — describe a deployment;
+* :func:`~repro.bench.harness.build_cluster` / :func:`~repro.bench.harness.run_experiment`
+  — construct and drive simulated deployments;
+* :class:`~repro.core.client.PaRiSClient` / :class:`~repro.core.server.PaRiSServer`
+  — the protocol itself (Algorithms 1-4);
+* :mod:`repro.baselines` — the BPR blocking competitor;
+* :mod:`repro.consistency` — the TCC invariant checker.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from .bench.harness import (
+    Cluster,
+    ExperimentResult,
+    build_cluster,
+    deploy_sessions,
+    run_experiment,
+)
+from .cluster.topology import ClusterSpec
+from .config import (
+    ClockConfig,
+    ProtocolConfig,
+    ServiceModel,
+    SimulationConfig,
+    WorkloadConfig,
+    small_test_config,
+)
+from .consistency.checker import ConsistencyChecker, Violation
+from .consistency.oracle import ConsistencyOracle
+from .core.client import PaRiSClient, ReadResult, TransactionHandle
+from .core.server import PaRiSServer
+from .baselines.bpr import BPRClient, BPRServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPRClient",
+    "BPRServer",
+    "ClockConfig",
+    "Cluster",
+    "ClusterSpec",
+    "ConsistencyChecker",
+    "ConsistencyOracle",
+    "ExperimentResult",
+    "PaRiSClient",
+    "PaRiSServer",
+    "ProtocolConfig",
+    "ReadResult",
+    "ServiceModel",
+    "SimulationConfig",
+    "TransactionHandle",
+    "Violation",
+    "WorkloadConfig",
+    "build_cluster",
+    "deploy_sessions",
+    "run_experiment",
+    "small_test_config",
+    "__version__",
+]

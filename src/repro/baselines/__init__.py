@@ -1,0 +1,5 @@
+"""Baseline protocols the paper compares against."""
+
+from .bpr import BPRClient, BPRServer
+
+__all__ = ["BPRClient", "BPRServer"]

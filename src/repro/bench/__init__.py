@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment construction, execution and reporting."""
+
+from .harness import (
+    PROTOCOLS,
+    Cluster,
+    ExperimentResult,
+    build_cluster,
+    deploy_sessions,
+    run_experiment,
+    summarize,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "Cluster",
+    "ExperimentResult",
+    "build_cluster",
+    "deploy_sessions",
+    "run_experiment",
+    "summarize",
+]

@@ -1,0 +1,344 @@
+"""Experiment harness: build a cluster, drive a workload, collect results.
+
+The harness mirrors the paper's methodology (Section V-A):
+
+* servers for every partition replica, clients co-located with the
+  coordinator partition they use, one client process per partition per DC;
+* closed-loop load driven by a configurable number of threads per client;
+* a warmup period (UST convergence) followed by a measurement window;
+* throughput = committed transactions per simulated second in the window,
+  latency = transaction start-to-finish inside the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..baselines.bpr import BPRClient, BPRServer
+from ..clocks.hlc import timestamp_to_seconds
+from ..cluster.topology import ClusterSpec
+from ..config import SimulationConfig
+from ..consistency.oracle import ConsistencyOracle
+from ..core.client import PaRiSClient
+from ..core.server import PaRiSServer
+from ..sim.kernel import Simulator
+from ..sim.latency import LatencyModel
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from ..sim.stats import mean_cdf, percentile
+from ..workload.generator import WorkloadGenerator, dataset_keys
+from ..workload.runner import SessionDriver, SessionStats
+
+#: Protocol registry: name -> (server class, client class).
+PROTOCOLS: Dict[str, Tuple[Type[PaRiSServer], Type[PaRiSClient]]] = {
+    "paris": (PaRiSServer, PaRiSClient),
+    "bpr": (BPRServer, BPRClient),
+}
+
+#: Initial value installed for every preloaded key.
+PRELOAD_VALUE = "init"
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    sim: Simulator
+    network: Network
+    spec: ClusterSpec
+    config: SimulationConfig
+    rngs: RngRegistry
+    protocol: str
+    servers: Dict[Tuple[int, int], PaRiSServer]
+    oracle: Optional[ConsistencyOracle] = None
+    clients: List[PaRiSClient] = field(default_factory=list)
+    drivers: List[SessionDriver] = field(default_factory=list)
+    _client_counters: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def server(self, dc_id: int, partition: int) -> PaRiSServer:
+        """The replica of ``partition`` hosted in ``dc_id``."""
+        return self.servers[(dc_id, partition)]
+
+    def all_servers(self) -> List[PaRiSServer]:
+        """All partition servers of the deployment."""
+        return list(self.servers.values())
+
+    def min_ust(self) -> int:
+        """The smallest UST across servers (lower bound of stable snapshot)."""
+        return min(server.ust for server in self.servers.values())
+
+    def ust_staleness(self) -> float:
+        """Seconds between now and the oldest server's UST (data staleness)."""
+        return self.sim.now - timestamp_to_seconds(self.min_ust())
+
+    def crash_server(self, dc_id: int, partition: int) -> None:
+        """Fail-stop one replica: timers stop, inbound traffic queues.
+
+        Models Section III-C: the server's state is durable and peers (TCP)
+        retransmit, so nothing is lost — but the UST stalls system-wide until
+        the server recovers, because it is computed as a global minimum.
+        """
+        server = self.server(dc_id, partition)
+        server.stop()
+        server.pause_delivery()
+
+    def recover_server(self, dc_id: int, partition: int) -> None:
+        """Bring a crashed replica back: drain its backlog, restart timers."""
+        server = self.server(dc_id, partition)
+        server.resume_delivery()
+        server.start()
+
+    def client_class(self) -> Type[PaRiSClient]:
+        """The client class matching this cluster's protocol."""
+        return PROTOCOLS[self.protocol][1]
+
+    def new_client(
+        self,
+        dc_id: int,
+        coordinator_partition: int,
+        client_index: Optional[int] = None,
+    ) -> PaRiSClient:
+        """Create (and register) one client session against a coordinator.
+
+        ``client_index`` defaults to the next free index for that coordinator,
+        so repeated calls never collide on a network address.
+        """
+        if client_index is None:
+            key = (dc_id, coordinator_partition)
+            client_index = self._client_counters.get(key, 0)
+            self._client_counters[key] = client_index + 1
+        client = self.client_class()(
+            network=self.network,
+            spec=self.spec,
+            config=self.config,
+            dc_id=dc_id,
+            coordinator_partition=coordinator_partition,
+            client_index=client_index,
+            oracle=self.oracle,
+        )
+        self.clients.append(client)
+        return client
+
+
+def build_cluster(
+    config: SimulationConfig,
+    protocol: str = "paris",
+    oracle: Optional[ConsistencyOracle] = None,
+    preload: bool = True,
+) -> Cluster:
+    """Construct servers, network and (optionally) the preloaded dataset."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
+    server_cls, _ = PROTOCOLS[protocol]
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    latency = LatencyModel.for_paper_deployment(
+        config.cluster.n_dcs, jitter_fraction=config.latency_jitter
+    )
+    network = Network(sim, latency, rngs)
+
+    servers: Dict[Tuple[int, int], PaRiSServer] = {}
+    spec = config.cluster
+    empty_dcs = [dc for dc in range(spec.n_dcs) if not spec.dc_partitions(dc)]
+    if empty_dcs:
+        raise ValueError(
+            f"DCs {empty_dcs} host no partitions (need n_partitions >= n_dcs); "
+            f"got {spec.n_partitions} partitions over {spec.n_dcs} DCs"
+        )
+    for dc_id in range(spec.n_dcs):
+        for partition in spec.dc_partitions(dc_id):
+            servers[(dc_id, partition)] = server_cls(
+                network=network,
+                spec=spec,
+                config=config,
+                dc_id=dc_id,
+                partition=partition,
+                rngs=rngs,
+            )
+
+    if preload:
+        for partition in range(spec.n_partitions):
+            keys = dataset_keys(spec, config.workload, partition)
+            for dc_id in spec.replica_dcs(partition):
+                server = servers[(dc_id, partition)]
+                for key in keys:
+                    server.preload(key, PRELOAD_VALUE)
+
+    for server in servers.values():
+        server.start()
+
+    return Cluster(
+        sim=sim,
+        network=network,
+        spec=spec,
+        config=config,
+        rngs=rngs,
+        protocol=protocol,
+        servers=servers,
+        oracle=oracle,
+    )
+
+
+def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver]:
+    """One client process per partition per DC, ``threads_per_client`` each."""
+    spec = cluster.spec
+    workload = cluster.config.workload
+    drivers: List[SessionDriver] = []
+    for dc_id in range(spec.n_dcs):
+        for partition in spec.dc_partitions(dc_id):
+            for thread in range(workload.threads_per_client):
+                client = cluster.new_client(dc_id, partition, client_index=thread)
+                generator = WorkloadGenerator(
+                    spec,
+                    workload,
+                    dc_id,
+                    cluster.rngs.stream(f"workload.d{dc_id}.p{partition}.t{thread}"),
+                )
+                driver = SessionDriver(client, generator, stats)
+                drivers.append(driver)
+    cluster.drivers = drivers
+    return drivers
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a paper figure needs from one run."""
+
+    protocol: str
+    threads_per_client: int
+    sessions: int
+    #: Committed + finished transactions per simulated second in the window.
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    transactions_measured: int
+    multi_dc_fraction: float
+    #: Mean time blocked per *blocked* read slice (0 for PaRiS).
+    blocking_mean: float
+    blocking_p99: float
+    #: Blocked slices / total slices served.
+    blocked_fraction: float
+    #: Mean blocking time amortised over every transaction's read phase.
+    read_phase_blocking: float
+    #: Figure 4 curve: (visibility seconds, CDF fraction) pairs.
+    visibility_cdf: List[Tuple[float, float]] = field(default_factory=list)
+    visibility_mean: float = 0.0
+    visibility_p99: float = 0.0
+    ust_staleness: float = 0.0
+    messages_total: int = 0
+    messages_inter_dc: int = 0
+    mean_cpu_utilization: float = 0.0
+
+    @property
+    def latency_mean_ms(self) -> float:
+        """Mean transaction latency in milliseconds."""
+        return self.latency_mean * 1000.0
+
+    @property
+    def throughput_ktx(self) -> float:
+        """Throughput in thousands of transactions per second."""
+        return self.throughput / 1000.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view (CDF curves become value/fraction lists)."""
+        from dataclasses import asdict
+
+        data = asdict(self)
+        data["visibility_cdf"] = [
+            {"seconds": value, "fraction": fraction}
+            for value, fraction in self.visibility_cdf
+        ]
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to JSON (for dashboards / downstream tooling)."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def run_experiment(
+    config: SimulationConfig,
+    protocol: str = "paris",
+    oracle: Optional[ConsistencyOracle] = None,
+) -> ExperimentResult:
+    """Build, warm up, measure, and summarise one configuration."""
+    cluster = build_cluster(config, protocol=protocol, oracle=oracle)
+    stats = SessionStats()
+    drivers = deploy_sessions(cluster, stats)
+    for driver in drivers:
+        driver.start()
+
+    sim = cluster.sim
+    sim.run(until=config.warmup)
+    stats.open_window(sim.now)
+    measure_end = config.warmup + config.duration
+    sim.run(until=measure_end)
+    stats.close_window(sim.now)
+
+    return summarize(cluster, stats)
+
+
+def summarize(cluster: Cluster, stats: SessionStats) -> ExperimentResult:
+    """Reduce a finished run into an :class:`ExperimentResult`."""
+    config = cluster.config
+    samples = stats.latency.samples
+    if samples:
+        latency_mean = stats.latency.mean
+        latency_p50 = percentile(samples, 0.50)
+        latency_p95 = percentile(samples, 0.95)
+        latency_p99 = percentile(samples, 0.99)
+    else:
+        latency_mean = latency_p50 = latency_p95 = latency_p99 = 0.0
+
+    servers = cluster.all_servers()
+    blocking_samples: List[float] = []
+    total_slices = 0
+    for server in servers:
+        blocking_samples.extend(server.metrics.blocking.samples)
+        total_slices += server.metrics.read_slices_served
+    blocked = len(blocking_samples)
+    blocking_mean = sum(blocking_samples) / blocked if blocked else 0.0
+    blocking_p99 = percentile(blocking_samples, 0.99) if blocked else 0.0
+    measured = stats.meter.completed_in_window
+
+    visibility_curve: List[Tuple[float, float]] = []
+    visibility_mean = 0.0
+    visibility_p99 = 0.0
+    if config.visibility_sample_rate > 0.0:
+        per_server = [server.metrics.visibility.samples for server in servers]
+        visibility_curve = mean_cdf(per_server, n_points=100)
+        flat = [sample for samples_ in per_server for sample in samples_]
+        if flat:
+            visibility_mean = sum(flat) / len(flat)
+            visibility_p99 = percentile(flat, 0.99)
+
+    elapsed = cluster.sim.now
+    utilizations = [server.cpu.utilization(elapsed) for server in servers]
+
+    return ExperimentResult(
+        protocol=cluster.protocol,
+        threads_per_client=config.workload.threads_per_client,
+        sessions=len(cluster.drivers),
+        throughput=stats.meter.throughput(),
+        latency_mean=latency_mean,
+        latency_p50=latency_p50,
+        latency_p95=latency_p95,
+        latency_p99=latency_p99,
+        transactions_measured=measured,
+        multi_dc_fraction=stats.multi_dc_count / measured if measured else 0.0,
+        blocking_mean=blocking_mean,
+        blocking_p99=blocking_p99,
+        blocked_fraction=blocked / total_slices if total_slices else 0.0,
+        read_phase_blocking=sum(blocking_samples) / measured if measured else 0.0,
+        visibility_cdf=visibility_curve,
+        visibility_mean=visibility_mean,
+        visibility_p99=visibility_p99,
+        ust_staleness=cluster.ust_staleness(),
+        messages_total=cluster.network.metrics.messages_total,
+        messages_inter_dc=cluster.network.metrics.messages_inter_dc,
+        mean_cpu_utilization=sum(utilizations) / len(utilizations) if utilizations else 0.0,
+    )

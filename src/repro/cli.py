@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       Run one simulated experiment and print its summary.
+``compare``   Run PaRiS and BPR on the same configuration, side by side.
+``check``     Run a workload under the consistency oracle and report
+              violations (exit status 1 if any are found).
+``topology``  Describe a deployment's placement and capacity.
+``figure``    Regenerate one of the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from .bench import experiments as exp
+from .bench import report
+from .bench.harness import ExperimentResult, run_experiment
+from .cluster.topology import ClusterSpec
+from .config import SimulationConfig
+from .consistency.checker import ConsistencyChecker
+from .consistency.oracle import ConsistencyOracle
+
+#: Figure/table names accepted by ``repro figure``.
+FIGURES = (
+    "fig1a",
+    "fig1b",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "table1",
+    "capacity",
+    "blocking",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PaRiS reproduction: simulated TCC with partial replication",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="run one experiment")
+    _add_cluster_args(run_cmd)
+    run_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    run_cmd.add_argument(
+        "--json", action="store_true", help="emit the result as JSON instead of text"
+    )
+
+    compare_cmd = commands.add_parser("compare", help="PaRiS vs BPR, same config")
+    _add_cluster_args(compare_cmd)
+
+    check_cmd = commands.add_parser("check", help="verify TCC invariants under load")
+    _add_cluster_args(check_cmd)
+    check_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+
+    topology_cmd = commands.add_parser("topology", help="describe a deployment")
+    topology_cmd.add_argument("--dcs", type=int, default=5)
+    topology_cmd.add_argument("--machines", type=int, default=18)
+    topology_cmd.add_argument("--rf", type=int, default=2)
+
+    figure_cmd = commands.add_parser("figure", help="regenerate a paper artifact")
+    figure_cmd.add_argument("name", choices=FIGURES)
+    figure_cmd.add_argument(
+        "--scale", choices=sorted(exp.SCALES), default="small",
+        help="deployment scale (default: small)",
+    )
+    return parser
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dcs", type=int, default=3, help="number of DCs")
+    parser.add_argument("--machines", type=int, default=2, help="machines per DC")
+    parser.add_argument("--rf", type=int, default=2, help="replication factor")
+    parser.add_argument("--threads", type=int, default=4, help="threads per client")
+    parser.add_argument("--mix", choices=("95:5", "50:50"), default="95:5")
+    parser.add_argument("--locality", type=float, default=0.95)
+    parser.add_argument("--keys", type=int, default=100, help="keys per partition")
+    parser.add_argument("--warmup", type=float, default=1.0, help="simulated seconds")
+    parser.add_argument("--duration", type=float, default=1.5, help="simulated seconds")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    """Translate CLI arguments into a simulation configuration."""
+    cluster = ClusterSpec.from_machines(
+        n_dcs=args.dcs, machines_per_dc=args.machines, replication_factor=args.rf
+    )
+    workload = exp.mix_workload(args.mix)
+    workload = replace(
+        workload,
+        locality=args.locality,
+        keys_per_partition=args.keys,
+        threads_per_client=args.threads,
+        partitions_per_tx=min(4, args.machines),
+    )
+    return SimulationConfig(
+        cluster=cluster,
+        workload=workload,
+        seed=args.seed,
+        warmup=args.warmup,
+        duration=args.duration,
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    """One experiment's summary block."""
+    lines = [
+        f"protocol            {result.protocol}",
+        f"sessions            {result.sessions} ({result.threads_per_client} threads/client)",
+        f"throughput          {result.throughput:,.0f} tx/s",
+        f"latency mean/p95    {result.latency_mean_ms:.2f} / {result.latency_p95 * 1000:.2f} ms",
+        f"latency p99         {result.latency_p99 * 1000:.2f} ms",
+        f"multi-DC fraction   {result.multi_dc_fraction:.3f}",
+        f"cpu utilization     {result.mean_cpu_utilization:.2f}",
+        f"UST staleness       {result.ust_staleness * 1000:.1f} ms",
+        f"messages (inter-DC) {result.messages_total:,} ({result.messages_inter_dc:,})",
+    ]
+    if result.blocking_mean > 0:
+        lines.append(
+            f"read blocking       {result.blocking_mean * 1000:.1f} ms mean, "
+            f"{result.blocked_fraction:.2f} of slices"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(config_from_args(args), protocol=args.protocol)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(format_result(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    results = {p: run_experiment(config, protocol=p) for p in ("paris", "bpr")}
+    rows = [
+        (
+            p,
+            f"{r.throughput:,.0f}",
+            f"{r.latency_mean_ms:.2f}",
+            f"{r.latency_p99 * 1000:.2f}",
+            f"{r.blocking_mean * 1000:.1f}",
+        )
+        for p, r in results.items()
+    ]
+    print(
+        report.format_table(
+            ["protocol", "tx/s", "avg lat (ms)", "p99 (ms)", "block (ms)"], rows
+        )
+    )
+    paris, bpr = results["paris"], results["bpr"]
+    if bpr.throughput > 0 and paris.latency_mean > 0:
+        print(
+            f"\nPaRiS vs BPR: {paris.throughput / bpr.throughput:.2f}x throughput, "
+            f"{bpr.latency_mean / paris.latency_mean:.2f}x lower latency"
+        )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    oracle = ConsistencyOracle()
+    result = run_experiment(config_from_args(args), protocol=args.protocol, oracle=oracle)
+    violations = ConsistencyChecker(oracle).check_all()
+    print(
+        f"checked {len(oracle.commits)} commits / {len(oracle.reads)} reads "
+        f"({result.throughput:,.0f} tx/s): {len(violations)} violations"
+    )
+    for violation in violations[:20]:
+        print(f"  {violation}")
+    return 1 if violations else 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    spec = ClusterSpec.from_machines(
+        n_dcs=args.dcs, machines_per_dc=args.machines, replication_factor=args.rf
+    )
+    print(
+        f"{spec.n_dcs} DCs, {spec.n_partitions} partitions, RF {spec.replication_factor} "
+        f"-> {spec.machines_per_dc:.0f} machines/DC, {spec.total_servers} servers total"
+    )
+    print(
+        f"storage per DC: {spec.storage_fraction_per_dc():.2f} of dataset "
+        f"({spec.capacity_vs_full_replication():.2f}x capacity vs full replication)"
+    )
+    rows = [
+        (dc, len(spec.dc_partitions(dc)), " ".join(map(str, spec.dc_partitions(dc)[:12])))
+        for dc in range(spec.n_dcs)
+    ]
+    print(report.format_table(["DC", "partitions", "hosted (first 12)"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = exp.SCALES[args.scale]
+    name = args.name
+    if name == "fig1a":
+        points = exp.figure_1("95:5", scale=scale)
+        print(report.render_figure_1("95:5", points))
+        print(report.render_figure_1_summary(exp.summarize_figure_1("95:5", points)))
+    elif name == "fig1b":
+        points = exp.figure_1("50:50", scale=scale)
+        print(report.render_figure_1("50:50", points))
+        print(report.render_figure_1_summary(exp.summarize_figure_1("50:50", points)))
+    elif name == "fig2a":
+        print(report.render_figure_2(exp.figure_2a(scale), "2a"))
+    elif name == "fig2b":
+        print(report.render_figure_2(exp.figure_2b(scale), "2b"))
+    elif name == "fig3":
+        print(report.render_figure_3(exp.figure_3(scale)))
+    elif name == "fig4":
+        print(report.render_figure_4(exp.figure_4(scale)))
+    elif name == "table1":
+        print(report.render_table_1())
+    elif name == "capacity":
+        print(report.render_capacity(exp.capacity_comparison(scale)))
+    elif name == "blocking":
+        print(report.render_blocking(exp.blocking_time(scale)))
+    else:  # pragma: no cover - argparse enforces choices
+        raise ValueError(name)
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "check": cmd_check,
+    "topology": cmd_topology,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

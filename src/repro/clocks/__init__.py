@@ -1,0 +1,28 @@
+"""Clock substrate: skewed physical clocks and hybrid logical clocks."""
+
+from .hlc import (
+    COUNTER_BITS,
+    COUNTER_MASK,
+    HybridLogicalClock,
+    micros_to_timestamp,
+    pack,
+    physical_part,
+    timestamp_to_seconds,
+    unpack,
+)
+from .logical import LogicalClock
+from .physical import MICROSECONDS, PhysicalClock
+
+__all__ = [
+    "LogicalClock",
+    "COUNTER_BITS",
+    "COUNTER_MASK",
+    "HybridLogicalClock",
+    "MICROSECONDS",
+    "PhysicalClock",
+    "micros_to_timestamp",
+    "pack",
+    "physical_part",
+    "timestamp_to_seconds",
+    "unpack",
+]

@@ -1,0 +1,57 @@
+"""Simulated physical clocks with bounded skew and drift.
+
+The paper synchronises server clocks with NTP (Section V-A), which bounds —
+but does not eliminate — skew.  Each server gets a clock that reads
+
+    local_time = sim_time * (1 + drift) + offset
+
+with ``offset`` and ``drift`` drawn uniformly from configured bounds.  HLCs
+(see :mod:`repro.clocks.hlc`) absorb the residual skew, exactly as in the
+paper; the protocol's correctness never depends on synchrony.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim.kernel import Simulator
+
+#: Timestamps are integer microseconds of physical time.
+MICROSECONDS = 1_000_000
+
+
+class PhysicalClock:
+    """A monotonically increasing, skewed view of simulated wall-clock time."""
+
+    def __init__(self, sim: Simulator, offset: float = 0.0, drift: float = 0.0) -> None:
+        if drift <= -1.0:
+            raise ValueError("drift must be > -1 (clock must move forward)")
+        self._sim = sim
+        self.offset = offset
+        self.drift = drift
+        self._last_reading = 0
+
+    @classmethod
+    def with_skew(
+        cls,
+        sim: Simulator,
+        rng: random.Random,
+        max_offset: float = 0.001,
+        max_drift: float = 1e-5,
+    ) -> "PhysicalClock":
+        """A clock with offset in ±max_offset s and drift in ±max_drift."""
+        offset = rng.uniform(-max_offset, max_offset)
+        drift = rng.uniform(-max_drift, max_drift)
+        return cls(sim, offset=offset, drift=drift)
+
+    def now_seconds(self) -> float:
+        """Local physical time in seconds (may be ahead/behind sim time)."""
+        return max(0.0, self._sim.now * (1.0 + self.drift) + self.offset)
+
+    def now_micros(self) -> int:
+        """Local physical time in integer microseconds, forced monotonic."""
+        reading = int(self.now_seconds() * MICROSECONDS)
+        if reading <= self._last_reading:
+            reading = self._last_reading + 1
+        self._last_reading = reading
+        return reading

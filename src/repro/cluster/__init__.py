@@ -1,0 +1,5 @@
+"""Cluster shape and placement substrate."""
+
+from .topology import ClusterSpec, StabilizationTree, client_address, server_address
+
+__all__ = ["ClusterSpec", "StabilizationTree", "client_address", "server_address"]

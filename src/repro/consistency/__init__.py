@@ -1,0 +1,14 @@
+"""Consistency verification: oracle recording + invariant checking."""
+
+from .checker import ConsistencyChecker, Violation
+from .oracle import CommitRecord, ConsistencyOracle, ReadRecord, VersionId, version_id
+
+__all__ = [
+    "CommitRecord",
+    "ConsistencyChecker",
+    "ConsistencyOracle",
+    "ReadRecord",
+    "VersionId",
+    "Violation",
+    "version_id",
+]

@@ -1,0 +1,193 @@
+"""Global observation oracle for consistency checking (test harness only).
+
+The oracle sits outside the protocol: clients report every transactional
+read and commit to it, and it reconstructs the causal dependency structure
+the protocol is supposed to respect.  Nothing in PaRiS/BPR reads oracle
+state — it exists so the test suite can *verify* TCC rather than assume it.
+
+Dependency tracking: per client session we keep an observed frontier — for
+each key, the newest version the client has read or written.  When the client
+commits, the new versions' direct dependencies are the frontier values at
+commit time (the client's session history), which matches the causality
+definition of Section II-A: same-thread order, reads-from, and transitivity
+(recovered by the checker's closure walk).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..storage.version import PRELOAD_TID, TransactionId, Version
+
+#: A version identity: (key, ut, tid, sr) — hashable and totally ordered
+#: per-key via (ut, tid, sr).
+VersionId = Tuple[str, int, TransactionId, int]
+
+
+def version_id(version: Version) -> VersionId:
+    """The oracle identity of a version."""
+    return (version.key, version.ut, version.tid, version.sr)
+
+
+def is_preload(version: Version) -> bool:
+    """Whether a version is part of the preloaded (timestamp-zero) dataset."""
+    return version.tid == PRELOAD_TID
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One transactional read phase as observed by a client."""
+
+    seq: int
+    client: str
+    tid: TransactionId
+    snapshot: int
+    #: key -> (returned version id or None for WS reads, source tag)
+    returned: Mapping[str, Tuple[Optional[VersionId], str]]
+    at: float
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed update transaction."""
+
+    seq: int
+    client: str
+    tid: TransactionId
+    commit_ts: int
+    written: Tuple[VersionId, ...]
+    at: float
+
+
+@dataclass
+class _SessionState:
+    """Per-client frontier: newest observed version per key."""
+
+    frontier: Dict[str, VersionId] = field(default_factory=dict)
+    #: Client's own committed writes, newest per key (for read-your-writes).
+    own_writes: Dict[str, VersionId] = field(default_factory=dict)
+
+
+class ConsistencyOracle:
+    """Records reads/commits and the dependency graph between versions."""
+
+    def __init__(self) -> None:
+        self._seq = itertools.count()
+        self.reads: List[ReadRecord] = []
+        self.commits: List[CommitRecord] = []
+        #: Direct dependencies of each recorded version.
+        self.dependencies: Dict[VersionId, FrozenSet[VersionId]] = {}
+        #: All versions written by each transaction (atomicity checking).
+        self.tx_writes: Dict[TransactionId, Tuple[VersionId, ...]] = {}
+        self._sessions: Dict[str, _SessionState] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called by clients)
+    # ------------------------------------------------------------------
+    def record_read(
+        self,
+        client: str,
+        tid: TransactionId,
+        snapshot: int,
+        results: Mapping[str, "ReadResultLike"],
+        at: float,
+    ) -> None:
+        """Record one read phase; updates the client's observed frontier."""
+        session = self._session(client)
+        returned: Dict[str, Tuple[Optional[VersionId], str]] = {}
+        for key, result in results.items():
+            if result.version is None:
+                returned[key] = (None, result.source)
+                continue
+            vid = version_id(result.version)
+            returned[key] = (vid, result.source)
+            if not is_preload(result.version):
+                self._observe(session, key, vid)
+        self.reads.append(
+            ReadRecord(
+                seq=next(self._seq),
+                client=client,
+                tid=tid,
+                snapshot=snapshot,
+                returned=returned,
+                at=at,
+            )
+        )
+
+    def record_commit(
+        self,
+        client: str,
+        tid: TransactionId,
+        commit_ts: int,
+        written: Mapping[str, Version],
+        read_versions: List[Version],
+        at: float,
+    ) -> None:
+        """Record a commit; the written versions depend on the session frontier."""
+        session = self._session(client)
+        for version in read_versions:
+            if not is_preload(version):
+                self._observe(session, version.key, version_id(version))
+        deps = frozenset(session.frontier.values())
+        written_ids = []
+        for key, version in written.items():
+            vid = version_id(version)
+            written_ids.append(vid)
+            self.dependencies[vid] = deps
+        self.tx_writes[tid] = tuple(written_ids)
+        for key, version in written.items():
+            vid = version_id(version)
+            self._observe(session, key, vid)
+            session.own_writes[key] = self._max_vid(session.own_writes.get(key), vid)
+        self.commits.append(
+            CommitRecord(
+                seq=next(self._seq),
+                client=client,
+                tid=tid,
+                commit_ts=commit_ts,
+                written=tuple(written_ids),
+                at=at,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version_count(self) -> int:
+        """Number of committed versions tracked."""
+        return len(self.dependencies)
+
+    def _session(self, client: str) -> _SessionState:
+        session = self._sessions.get(client)
+        if session is None:
+            session = _SessionState()
+            self._sessions[client] = session
+        return session
+
+    def _observe(self, session: _SessionState, key: str, vid: VersionId) -> None:
+        session.frontier[key] = self._max_vid(session.frontier.get(key), vid)
+
+    @staticmethod
+    def _max_vid(current: Optional[VersionId], candidate: VersionId) -> VersionId:
+        if current is None:
+            return candidate
+        return max(current, candidate, key=_vid_order)
+
+
+def _vid_order(vid: VersionId) -> Tuple[int, TransactionId, int]:
+    """Per-key total order of version ids: (ut, tid, sr)."""
+    return (vid[1], vid[2], vid[3])
+
+
+class ReadResultLike:
+    """Protocol of objects accepted by :meth:`ConsistencyOracle.record_read`.
+
+    Must expose ``version`` (Optional[Version]) and ``source`` (str) — the
+    client's :class:`~repro.core.client.ReadResult` qualifies.
+    """
+
+    version: Optional[Version]
+    source: str

@@ -1,0 +1,16 @@
+"""PaRiS core: the paper's protocol (client, server, UST, messages)."""
+
+from .cache import WriteCache
+from .client import PaRiSClient, ReadResult, TransactionHandle, TransactionStateError
+from .metrics import ServerMetrics
+from .server import PaRiSServer
+
+__all__ = [
+    "PaRiSClient",
+    "PaRiSServer",
+    "ReadResult",
+    "ServerMetrics",
+    "TransactionHandle",
+    "TransactionStateError",
+    "WriteCache",
+]

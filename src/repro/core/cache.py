@@ -1,0 +1,56 @@
+"""The client-side private write cache WC_c (Section III-B, "Cache").
+
+The cache holds the client's own committed writes that the UST snapshot does
+not cover yet, preserving read-your-writes while transactions read from a
+slightly stale stable snapshot.  Entries are pruned the moment the client
+learns a stable snapshot that includes them (Algorithm 1 line 6): from then
+on every server-side read at that snapshot already returns them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..storage.version import Version
+
+
+class WriteCache:
+    """Per-client cache of own writes not yet within the stable snapshot."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Version] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over cached keys."""
+        return iter(self._entries)
+
+    def lookup(self, key: str) -> Optional[Version]:
+        """The cached version of ``key``, if any."""
+        return self._entries.get(key)
+
+    def insert(self, version: Version) -> None:
+        """Store a newly committed version, overwriting any older duplicate.
+
+        Commit timestamps of one client increase monotonically, but the
+        overwrite is guarded anyway so a stale insert can never shadow a
+        fresher entry.
+        """
+        existing = self._entries.get(version.key)
+        if existing is None or version.newer_than(existing):
+            self._entries[version.key] = version
+
+    def prune(self, stable_snapshot: int) -> int:
+        """Drop entries with commit timestamp <= ``stable_snapshot``.
+
+        Returns the number of entries removed.
+        """
+        stale = [key for key, version in self._entries.items() if version.ut <= stable_snapshot]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)

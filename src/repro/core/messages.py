@@ -1,0 +1,214 @@
+"""Protocol messages of PaRiS (Algorithms 1-4) and its stabilization plane.
+
+All messages are plain frozen dataclasses delivered through the simulated
+FIFO fabric.  Collections are tuples so that a message cannot be mutated
+after it is "serialized" (sent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..storage.version import TransactionId, Version
+
+#: (key, value) pairs of a write set slice.
+WritePairs = Tuple[Tuple[str, Any], ...]
+
+
+# ----------------------------------------------------------------------
+# Client <-> coordinator (Algorithm 1 / Algorithm 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StartTxReq:
+    """START-TX: carries the client's highest observed stable snapshot."""
+
+    client_snapshot: int
+
+
+@dataclass(frozen=True)
+class StartTxResp:
+    """Transaction id and the snapshot assigned by the coordinator."""
+
+    tid: TransactionId
+    snapshot: int
+
+
+@dataclass(frozen=True)
+class ReadReq:
+    """READ: keys the client could not serve from WS/RS/WC."""
+
+    tid: TransactionId
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ReadResp:
+    """Versions returned for a parallel read, keyed by key."""
+
+    versions: Tuple[Tuple[str, Version], ...]
+
+
+@dataclass(frozen=True)
+class CommitReq:
+    """COMMIT-TX: the buffered write set plus the client's last commit time."""
+
+    tid: TransactionId
+    highest_write_ts: int
+    writes: WritePairs
+
+
+@dataclass(frozen=True)
+class CommitResp:
+    """The transaction's commit timestamp."""
+
+    tid: TransactionId
+    commit_ts: int
+
+
+@dataclass(frozen=True)
+class FinishTxMsg:
+    """One-way notice that a read-only transaction is complete.
+
+    The paper cleans abandoned contexts with a background timeout
+    (Section III-C); we additionally send this explicit notice on the common
+    path so coordinator state and the GC oldest-snapshot bound do not depend
+    on timeouts.
+    """
+
+    tid: TransactionId
+
+
+@dataclass(frozen=True)
+class OneShotReadReq:
+    """One-round read-only transaction (start + read + finish in one RPC).
+
+    PaRiS's non-blocking reads make one-round ROTs possible (Section I):
+    the coordinator assigns the snapshot and fans the read out without any
+    client round-trip for START-TX, and no context survives the call.
+    """
+
+    client_snapshot: int
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OneShotReadResp:
+    """Snapshot used and the versions read."""
+
+    snapshot: int
+    versions: Tuple[Tuple[str, Version], ...]
+
+
+# ----------------------------------------------------------------------
+# Coordinator <-> cohort (Algorithm 2 / Algorithm 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadSliceReq:
+    """Per-partition slice of a parallel read at a given snapshot."""
+
+    keys: Tuple[str, ...]
+    snapshot: int
+
+
+@dataclass(frozen=True)
+class ReadSliceResp:
+    """Freshest visible version per requested key."""
+
+    versions: Tuple[Tuple[str, Version], ...]
+
+
+@dataclass(frozen=True)
+class PrepareReq:
+    """2PC phase one for one partition's slice of the write set."""
+
+    tid: TransactionId
+    snapshot: int
+    highest_ts: int
+    writes: WritePairs
+
+
+@dataclass(frozen=True)
+class PrepareResp:
+    """The partition's proposed commit timestamp."""
+
+    tid: TransactionId
+    proposed_ts: int
+
+
+@dataclass(frozen=True)
+class CommitTxMsg:
+    """2PC phase two: the decided commit timestamp (one-way)."""
+
+    tid: TransactionId
+    commit_ts: int
+    #: Sim time at which the coordinator decided ct (visibility probes).
+    decided_at: float
+
+
+# ----------------------------------------------------------------------
+# Replication between replicas of one partition (Algorithm 4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicatedTx:
+    """One applied transaction group being shipped to peer replicas."""
+
+    tid: TransactionId
+    commit_ts: int
+    writes: WritePairs
+    source_dc: int
+    decided_at: float
+
+
+@dataclass(frozen=True)
+class ReplicateMsg:
+    """A batch of transaction groups in increasing commit-ts order.
+
+    ``watermark`` is the sender's new local version clock (the ``ub`` of
+    Algorithm 4): by FIFO, every update with ct <= watermark has been shipped,
+    so the receiver may advance its VV entry to the watermark.
+    """
+
+    groups: Tuple[ReplicatedTx, ...]
+    watermark: int
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    """Idle-period version-clock announcement (Algorithm 4 line 21)."""
+
+    ts: int
+
+
+# ----------------------------------------------------------------------
+# Stabilization plane (Section IV-B "Stabilization protocol" + GC)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggUpMsg:
+    """Child -> parent in the intra-DC tree: aggregated minima.
+
+    ``stable_min`` aggregates min(VV) (towards the GST); ``oldest_active``
+    aggregates the oldest snapshot of a running transaction (towards the GC
+    bound S_old).  The same tree computes both, as the paper notes.
+    """
+
+    partition: int
+    stable_min: int
+    oldest_active: int
+
+
+@dataclass(frozen=True)
+class DcGstMsg:
+    """Root -> remote roots: this DC's GST and oldest active snapshot."""
+
+    dc_id: int
+    gst: int
+    oldest_active: int
+
+
+@dataclass(frozen=True)
+class UstBroadcastMsg:
+    """Root -> subtree: the new universal stable time and GC bound."""
+
+    ust: int
+    oldest_global: int

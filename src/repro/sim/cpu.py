@@ -1,0 +1,68 @@
+"""Per-server CPU model: a non-preemptive FIFO multi-core queueing station.
+
+The paper's servers are c5.xlarge instances (4 vCPUs).  Each protocol message
+costs some service time (configured in :mod:`repro.config`); jobs queue FIFO
+and run to completion on the first free core.  Saturation of this resource is
+what bends the throughput/latency curves of Figures 1-3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+from .kernel import Simulator
+
+
+class Cpu:
+    """A ``cores``-way FIFO processor attached to one simulated server."""
+
+    def __init__(self, sim: Simulator, cores: int = 4) -> None:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self._sim = sim
+        self.cores = cores
+        self._free_at: List[float] = [0.0] * cores
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._running = 0
+        self.busy_time = 0.0
+        self.jobs_done = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not yet started)."""
+        return len(self._queue)
+
+    def submit(self, cost: float, job: Callable[[], None]) -> None:
+        """Run ``job`` after it has queued for and consumed ``cost`` seconds.
+
+        ``cost`` of zero still round-trips through the queue so ordering with
+        respect to earlier submissions is preserved.
+        """
+        if cost < 0:
+            raise ValueError(f"negative service cost: {cost}")
+        self._queue.append((cost, job))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and self._running < self.cores:
+            cost, job = self._queue.popleft()
+            core = min(range(self.cores), key=lambda i: self._free_at[i])
+            start = max(self._sim.now, self._free_at[core])
+            finish = start + cost
+            self._free_at[core] = finish
+            self._running += 1
+            self.busy_time += cost
+            self._sim.call_at(finish, lambda job=job: self._complete(job))
+
+    def _complete(self, job: Callable[[], None]) -> None:
+        self._running -= 1
+        self.jobs_done += 1
+        job()
+        self._dispatch()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of total core-time spent busy over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.cores))

@@ -1,0 +1,149 @@
+"""Futures and combinators for the discrete-event simulation kernel.
+
+A :class:`Future` is the rendezvous point between event-driven code (message
+handlers, timers) and process code (generator coroutines).  Handlers resolve
+futures; processes ``yield`` them and are resumed with the resolved value.
+
+Futures are single-assignment: resolving (or failing) a future twice raises
+:class:`FutureAlreadyResolved`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+
+class FutureAlreadyResolved(RuntimeError):
+    """Raised when a future is resolved or failed more than once."""
+
+
+class Future:
+    """A single-assignment container for a value produced later in sim time.
+
+    Callbacks added via :meth:`add_done_callback` run synchronously at the
+    moment of resolution, in registration order.  The simulation kernel uses
+    this to resume processes that are waiting on the future.
+    """
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the future has been resolved or failed."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The resolved value.  Raises if not done or if the future failed."""
+        if not self._done:
+            raise RuntimeError("future is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        return self._exception
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future with ``value`` and run callbacks."""
+        if self._done:
+            raise FutureAlreadyResolved("future already resolved")
+        self._done = True
+        self._value = value
+        self._run_callbacks()
+
+    def fail(self, exc: BaseException) -> None:
+        """Fail the future with ``exc``; waiters re-raise it."""
+        if self._done:
+            raise FutureAlreadyResolved("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._run_callbacks()
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when resolved (immediately if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._done:
+            state = "pending"
+        elif self._exception is not None:
+            state = f"failed({self._exception!r})"
+        else:
+            state = f"resolved({self._value!r})"
+        return f"<Future {state}>"
+
+
+def map_future(future: Future, transform: Callable[[Any], Any]) -> Future:
+    """A future resolving to ``transform(value)`` of the input future.
+
+    Failures propagate unchanged; exceptions raised by ``transform`` fail the
+    returned future.
+    """
+    mapped = Future()
+
+    def on_done(fut: Future) -> None:
+        if fut.exception is not None:
+            mapped.fail(fut.exception)
+            return
+        try:
+            mapped.resolve(transform(fut._value))
+        except BaseException as exc:  # noqa: BLE001 - surface via the future
+            mapped.fail(exc)
+
+    future.add_done_callback(on_done)
+    return mapped
+
+
+def all_of(futures: Iterable[Future]) -> Future:
+    """Return a future resolving to the list of values of ``futures``.
+
+    Values preserve input order.  If any input future fails, the aggregate
+    fails with the first failure (remaining inputs are still awaited so that
+    late resolutions do not hit an already-resolved aggregate).
+    """
+    futures = list(futures)
+    aggregate = Future()
+    if not futures:
+        aggregate.resolve([])
+        return aggregate
+
+    remaining = len(futures)
+    values: List[Any] = [None] * len(futures)
+    first_error: List[Optional[BaseException]] = [None]
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def callback(fut: Future) -> None:
+            nonlocal remaining
+            if fut.exception is not None and first_error[0] is None:
+                first_error[0] = fut.exception
+            else:
+                values[index] = fut._value
+            remaining -= 1
+            if remaining == 0:
+                if first_error[0] is not None:
+                    aggregate.fail(first_error[0])
+                else:
+                    aggregate.resolve(values)
+
+        return callback
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(make_callback(i))
+    return aggregate

@@ -1,0 +1,232 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel owns a priority queue of timestamped events.  Two styles of code
+run on top of it:
+
+* **Event-driven handlers** — plain callables scheduled with
+  :meth:`Simulator.call_at` / :meth:`Simulator.call_after`.
+* **Processes** — generator coroutines spawned with :meth:`Simulator.spawn`.
+  A process may ``yield``:
+
+  - a ``float``/``int`` number of seconds (sleep),
+  - a :class:`~repro.sim.future.Future` (wait for resolution; the resolved
+    value is sent back into the generator, failures are thrown in),
+  - a list/tuple of futures (wait for all; list of values is sent back).
+
+Determinism: events at equal times fire in scheduling order (a monotonically
+increasing sequence number breaks ties), and all randomness in the wider
+simulator flows through named :mod:`repro.sim.rng` streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterator, List, Optional
+
+from .future import Future
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel usage (e.g. scheduling into the past)."""
+
+
+class Event:
+    """A scheduled callback.  Cancellation is O(1) (lazy removal)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the event fires."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Process:
+    """A generator coroutine driven by the kernel.
+
+    ``process.completed`` is a future resolving to the generator's return
+    value (or failing with its uncaught exception).
+    """
+
+    __slots__ = ("_sim", "_generator", "completed", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.completed = Future()
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def done(self) -> bool:
+        """True once the generator has returned or raised."""
+        return self.completed.done
+
+    def _step(self, send_value: Any = None, throw_exc: Optional[BaseException] = None) -> None:
+        try:
+            if throw_exc is not None:
+                yielded = self._generator.throw(throw_exc)
+            else:
+                yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.completed.resolve(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via the future
+            self.completed.fail(exc)
+            return
+        self._wire(yielded)
+
+    def _wire(self, yielded: Any) -> None:
+        if isinstance(yielded, Future):
+            yielded.add_done_callback(self._on_future)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._step(throw_exc=SimulationError(f"negative sleep: {yielded}"))
+                return
+            self._sim.call_after(yielded, lambda: self._step(None))
+        elif isinstance(yielded, (list, tuple)):
+            from .future import all_of
+
+            all_of(yielded).add_done_callback(self._on_future)
+        else:
+            self._step(
+                throw_exc=SimulationError(f"process yielded unsupported value: {yielded!r}")
+            )
+
+    def _on_future(self, fut: Future) -> None:
+        if fut.exception is not None:
+            self._step(throw_exc=fut.exception)
+        else:
+            self._step(send_value=fut._value)
+
+
+class Simulator:
+    """The event loop.  Time is a float in seconds, starting at 0."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._sequence: Iterator[int] = itertools.count()
+        self._processes: List[Process] = []
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events fired so far (for kernel benchmarks)."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute sim time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule into the past: {time} < {self._now}")
+        event = Event(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def timeout(self, delay: float, value: Any = None) -> Future:
+        """A future that resolves to ``value`` after ``delay`` seconds."""
+        future = Future()
+        self.call_after(delay, lambda: future.resolve(value))
+        return future
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a process immediately (its first step runs inline)."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        process._step(None)
+        return process
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        phase: float = 0.0,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``period`` seconds until cancelled.
+
+        ``phase`` delays the first firing; ``jitter()`` (if given) is added to
+        each interval.  Returns a cancel function.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+        cancelled = [False]
+
+        def tick() -> None:
+            if cancelled[0]:
+                return
+            callback()
+            delay = period + (jitter() if jitter is not None else 0.0)
+            self.call_after(max(delay, 0.0), tick)
+
+        self.call_after(phase + period, tick)
+
+        def cancel() -> None:
+            cancelled[0] = True
+
+        return cancel
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._event_count += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or sim time reaches ``until``."""
+        if until is None:
+            while self.step():
+                pass
+            return
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self._now = max(self._now, until)
+
+    def run_until_resolved(self, future: Future, limit: float = float("inf")) -> Any:
+        """Run until ``future`` resolves; raise if the queue drains first."""
+        while not future.done:
+            if self._queue and self._queue[0].time > limit:
+                raise SimulationError(f"future not resolved by sim time {limit}")
+            if not self.step():
+                raise SimulationError("event queue drained before future resolved")
+        return future.value

@@ -1,0 +1,145 @@
+"""Wide-area latency model for the paper's ten AWS regions.
+
+The evaluation in the paper deploys on up to 10 EC2 regions (Section V-A):
+North Virginia, Oregon, Ireland, Mumbai, Sydney, Canada, Seoul, Frankfurt,
+Singapore and Ohio.  We reproduce that geography with a symmetric round-trip
+matrix (milliseconds) assembled from publicly reported inter-region
+measurements, and derive one-way delays as RTT/2 plus a small multiplicative
+jitter.
+
+The 3-DC and 5-DC deployments use the same prefixes the paper uses:
+Virginia/Oregon/Ireland, plus Mumbai and Sydney for 5 DCs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+#: Region names in the paper's order.  Deployments of M DCs take the first M.
+REGIONS: Tuple[str, ...] = (
+    "virginia",
+    "oregon",
+    "ireland",
+    "mumbai",
+    "sydney",
+    "canada",
+    "seoul",
+    "frankfurt",
+    "singapore",
+    "ohio",
+)
+
+#: Symmetric inter-region RTTs in milliseconds (upper triangle listed once).
+_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("virginia", "oregon"): 70.0,
+    ("virginia", "ireland"): 75.0,
+    ("virginia", "mumbai"): 185.0,
+    ("virginia", "sydney"): 200.0,
+    ("virginia", "canada"): 15.0,
+    ("virginia", "seoul"): 180.0,
+    ("virginia", "frankfurt"): 90.0,
+    ("virginia", "singapore"): 220.0,
+    ("virginia", "ohio"): 12.0,
+    ("oregon", "ireland"): 130.0,
+    ("oregon", "mumbai"): 220.0,
+    ("oregon", "sydney"): 140.0,
+    ("oregon", "canada"): 60.0,
+    ("oregon", "seoul"): 125.0,
+    ("oregon", "frankfurt"): 160.0,
+    ("oregon", "singapore"): 165.0,
+    ("oregon", "ohio"): 50.0,
+    ("ireland", "mumbai"): 120.0,
+    ("ireland", "sydney"): 280.0,
+    ("ireland", "canada"): 70.0,
+    ("ireland", "seoul"): 240.0,
+    ("ireland", "frankfurt"): 25.0,
+    ("ireland", "singapore"): 180.0,
+    ("ireland", "ohio"): 85.0,
+    ("mumbai", "sydney"): 225.0,
+    ("mumbai", "canada"): 195.0,
+    ("mumbai", "seoul"): 130.0,
+    ("mumbai", "frankfurt"): 110.0,
+    ("mumbai", "singapore"): 65.0,
+    ("mumbai", "ohio"): 190.0,
+    ("sydney", "canada"): 210.0,
+    ("sydney", "seoul"): 135.0,
+    ("sydney", "frankfurt"): 290.0,
+    ("sydney", "singapore"): 95.0,
+    ("sydney", "ohio"): 195.0,
+    ("canada", "seoul"): 175.0,
+    ("canada", "frankfurt"): 100.0,
+    ("canada", "singapore"): 215.0,
+    ("canada", "ohio"): 25.0,
+    ("seoul", "frankfurt"): 240.0,
+    ("seoul", "singapore"): 75.0,
+    ("seoul", "ohio"): 170.0,
+    ("frankfurt", "singapore"): 160.0,
+    ("frankfurt", "ohio"): 100.0,
+    ("singapore", "ohio"): 210.0,
+}
+
+
+def rtt_ms(region_a: str, region_b: str) -> float:
+    """Round-trip time between two regions in milliseconds."""
+    if region_a == region_b:
+        return 0.25  # same-DC LAN round trip
+    key = (region_a, region_b) if (region_a, region_b) in _RTT_MS else (region_b, region_a)
+    try:
+        return _RTT_MS[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown region pair: {region_a!r}, {region_b!r}") from exc
+
+
+class LatencyModel:
+    """One-way message delays between DCs of a deployment.
+
+    Parameters
+    ----------
+    regions:
+        The region name of each DC, indexed by DC id.
+    jitter_fraction:
+        Each sampled delay is the base one-way latency multiplied by a
+        uniform factor in ``[1, 1 + jitter_fraction]``.
+    """
+
+    def __init__(self, regions: Sequence[str], jitter_fraction: float = 0.05) -> None:
+        unknown = [r for r in regions if r not in REGIONS]
+        if unknown:
+            raise ValueError(f"unknown regions: {unknown}")
+        if jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be non-negative")
+        self.regions: Tuple[str, ...] = tuple(regions)
+        self.jitter_fraction = jitter_fraction
+        n = len(self.regions)
+        self._one_way: List[List[float]] = [
+            [rtt_ms(self.regions[a], self.regions[b]) / 2.0 / 1000.0 for b in range(n)]
+            for a in range(n)
+        ]
+
+    @classmethod
+    def for_paper_deployment(cls, n_dcs: int, jitter_fraction: float = 0.05) -> "LatencyModel":
+        """The paper's deployment of ``n_dcs`` DCs (first ``n_dcs`` regions)."""
+        if not 1 <= n_dcs <= len(REGIONS):
+            raise ValueError(f"n_dcs must be in [1, {len(REGIONS)}]")
+        return cls(REGIONS[:n_dcs], jitter_fraction=jitter_fraction)
+
+    @property
+    def n_dcs(self) -> int:
+        """Number of DCs in the deployment."""
+        return len(self.regions)
+
+    def base_one_way(self, dc_a: int, dc_b: int) -> float:
+        """Base one-way latency in seconds between two DC ids."""
+        return self._one_way[dc_a][dc_b]
+
+    def sample(self, rng: random.Random, dc_a: int, dc_b: int) -> float:
+        """A jittered one-way latency draw in seconds."""
+        base = self._one_way[dc_a][dc_b]
+        if self.jitter_fraction == 0.0:
+            return base
+        return base * (1.0 + rng.random() * self.jitter_fraction)
+
+    def max_one_way(self) -> float:
+        """The largest base one-way latency in the deployment (seconds)."""
+        return max(max(row) for row in self._one_way)

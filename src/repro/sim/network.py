@@ -1,0 +1,292 @@
+"""Simulated message fabric: FIFO point-to-point links, RPC, fault injection.
+
+The paper assumes "point-to-point lossless FIFO channels (e.g., a TCP
+socket)" (Section II-C).  We reproduce that contract:
+
+* per ``(src, dst)`` link, messages are delivered in send order even though
+  individual latency draws are jittered;
+* links never lose messages.  A DC-level network partition *holds* traffic
+  (as TCP backpressure/retransmission would) and releases it in order when
+  the partition heals.
+
+:class:`Node` is the base class for every protocol participant (servers and
+clients).  It provides one-way sends, request/response RPC with correlation
+ids, and handler dispatch by message type.  Inbound messages are charged to
+the node's CPU model, which is how server saturation arises.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .cpu import Cpu
+from .future import Future
+from .kernel import Simulator
+from .latency import LatencyModel
+from .rng import RngRegistry
+
+Address = str
+
+#: Minimum spacing between deliveries on one link, to keep FIFO order strict.
+_FIFO_EPSILON = 1e-9
+
+
+@dataclass
+class Envelope:
+    """A message in flight."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    rpc_id: Optional[int] = None
+    is_reply: bool = False
+    send_time: float = 0.0
+
+
+@dataclass
+class _Endpoint:
+    dc_id: int
+    deliver: Callable[[Envelope], None]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters of fabric traffic, by payload type and DC scope."""
+
+    messages_total: int = 0
+    messages_inter_dc: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, payload: Any, inter_dc: bool) -> None:
+        self.messages_total += 1
+        if inter_dc:
+            self.messages_inter_dc += 1
+        name = type(payload).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+
+class Network:
+    """The message fabric shared by all nodes of one simulation."""
+
+    def __init__(self, sim: Simulator, latency: LatencyModel, rngs: RngRegistry) -> None:
+        self._sim = sim
+        self._latency = latency
+        self._rng = rngs.stream("network.jitter")
+        self._endpoints: Dict[Address, _Endpoint] = {}
+        self._link_clock: Dict[Tuple[Address, Address], float] = {}
+        self._partitioned: set[frozenset[int]] = set()
+        self._held: Dict[Tuple[Address, Address], List[Envelope]] = {}
+        self.metrics = NetworkMetrics()
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation kernel this fabric is attached to."""
+        return self._sim
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The WAN latency model in use."""
+        return self._latency
+
+    def register(self, address: Address, dc_id: int, deliver: Callable[[Envelope], None]) -> None:
+        """Attach an endpoint; ``deliver`` is invoked for each arriving envelope."""
+        if address in self._endpoints:
+            raise ValueError(f"address already registered: {address}")
+        self._endpoints[address] = _Endpoint(dc_id=dc_id, deliver=deliver)
+
+    def dc_of(self, address: Address) -> int:
+        """DC id that hosts ``address``."""
+        return self._endpoints[address].dc_id
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, envelope: Envelope) -> None:
+        """Route one envelope, honouring per-link FIFO order and partitions."""
+        src_ep = self._endpoints.get(envelope.src)
+        dst_ep = self._endpoints.get(envelope.dst)
+        if src_ep is None or dst_ep is None:
+            missing = envelope.src if src_ep is None else envelope.dst
+            raise KeyError(f"unknown address: {missing}")
+        envelope.send_time = self._sim.now
+        self.metrics.record(envelope.payload, inter_dc=src_ep.dc_id != dst_ep.dc_id)
+        if self.is_partitioned(src_ep.dc_id, dst_ep.dc_id):
+            self._held.setdefault((envelope.src, envelope.dst), []).append(envelope)
+            return
+        self._schedule_delivery(envelope, src_ep.dc_id, dst_ep.dc_id)
+
+    def _schedule_delivery(self, envelope: Envelope, src_dc: int, dst_dc: int) -> None:
+        delay = self._latency.sample(self._rng, src_dc, dst_dc)
+        link = (envelope.src, envelope.dst)
+        deliver_at = max(self._sim.now + delay, self._link_clock.get(link, 0.0) + _FIFO_EPSILON)
+        self._link_clock[link] = deliver_at
+        endpoint = self._endpoints[envelope.dst]
+        self._sim.call_at(deliver_at, lambda: endpoint.deliver(envelope))
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def partition_dcs(self, dc_a: int, dc_b: int) -> None:
+        """Cut connectivity between two DCs; traffic is held, not dropped."""
+        if dc_a == dc_b:
+            raise ValueError("cannot partition a DC from itself")
+        self._partitioned.add(frozenset((dc_a, dc_b)))
+
+    def isolate_dc(self, dc_id: int) -> None:
+        """Partition ``dc_id`` away from every other DC in the deployment."""
+        for other in range(self._latency.n_dcs):
+            if other != dc_id:
+                self.partition_dcs(dc_id, other)
+
+    def heal(self, dc_a: Optional[int] = None, dc_b: Optional[int] = None) -> None:
+        """Heal one pair (or everything when called with no arguments)."""
+        if dc_a is None and dc_b is None:
+            self._partitioned.clear()
+        elif dc_a is not None and dc_b is not None:
+            self._partitioned.discard(frozenset((dc_a, dc_b)))
+        else:
+            raise ValueError("heal takes either both DC ids or neither")
+        self._release_held()
+
+    def is_partitioned(self, dc_a: int, dc_b: int) -> bool:
+        """Whether traffic between these DCs is currently blocked."""
+        if dc_a == dc_b:
+            return False
+        return frozenset((dc_a, dc_b)) in self._partitioned
+
+    def _release_held(self) -> None:
+        still_held: Dict[Tuple[Address, Address], List[Envelope]] = {}
+        for link, envelopes in self._held.items():
+            src_dc = self._endpoints[link[0]].dc_id
+            dst_dc = self._endpoints[link[1]].dc_id
+            if self.is_partitioned(src_dc, dst_dc):
+                still_held[link] = envelopes
+                continue
+            for envelope in envelopes:
+                self._schedule_delivery(envelope, src_dc, dst_dc)
+        self._held = still_held
+
+
+class Node:
+    """Base class for protocol participants.
+
+    Subclasses implement handlers named ``handle_<MessageClassName>`` with
+    signature ``handler(src, message, reply)``.  ``reply`` is a callable that
+    sends the response of an RPC (or ``None`` for one-way messages); handlers
+    may stash it and reply later, which is how blocking reads are modelled.
+    """
+
+    _rpc_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        network: Network,
+        address: Address,
+        dc_id: int,
+        cpu: Optional[Cpu] = None,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.address = address
+        self.dc_id = dc_id
+        self.cpu = cpu
+        self._pending_rpcs: Dict[int, Future] = {}
+        self._handler_cache: Dict[type, Callable] = {}
+        self._paused = False
+        self._backlog: List[Envelope] = []
+        network.register(address, dc_id, self._receive)
+
+    # ------------------------------------------------------------------
+    # Crash modelling
+    # ------------------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        """Whether inbound delivery is suspended (crashed node)."""
+        return self._paused
+
+    def pause_delivery(self) -> None:
+        """Suspend processing: inbound traffic queues instead of dispatching.
+
+        Models a fail-stop crash with durable state and TCP peers that keep
+        retransmitting: nothing is lost, nothing is processed, FIFO order is
+        preserved for when the node comes back.
+        """
+        self._paused = True
+
+    def resume_delivery(self) -> None:
+        """Process the crash backlog in arrival order and resume normally."""
+        self._paused = False
+        backlog, self._backlog = self._backlog, []
+        for envelope in backlog:
+            self._receive(envelope)
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+    def cast(self, dst: Address, payload: Any) -> None:
+        """One-way send (replication, heartbeats, gossip)."""
+        self.network.send(Envelope(src=self.address, dst=dst, payload=payload))
+
+    def request(self, dst: Address, payload: Any) -> Future:
+        """RPC send; the returned future resolves to the reply payload."""
+        rpc_id = next(self._rpc_counter)
+        future = Future()
+        self._pending_rpcs[rpc_id] = future
+        self.network.send(Envelope(src=self.address, dst=dst, payload=payload, rpc_id=rpc_id))
+        return future
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    def service_cost(self, payload: Any) -> float:
+        """CPU seconds charged to process ``payload``; zero by default."""
+        return 0.0
+
+    def _receive(self, envelope: Envelope) -> None:
+        if self._paused:
+            self._backlog.append(envelope)
+            return
+        if self.cpu is not None:
+            self.cpu.submit(self.service_cost(envelope.payload), lambda: self._dispatch(envelope))
+        else:
+            self._dispatch(envelope)
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        if envelope.is_reply:
+            future = self._pending_rpcs.pop(envelope.rpc_id, None)
+            if future is not None:
+                future.resolve(envelope.payload)
+            return
+        handler = self._handler_for(type(envelope.payload))
+        reply: Optional[Callable[[Any], None]] = None
+        if envelope.rpc_id is not None:
+            reply = self._make_reply(envelope)
+        handler(envelope.src, envelope.payload, reply)
+
+    def _make_reply(self, envelope: Envelope) -> Callable[[Any], None]:
+        def reply(payload: Any) -> None:
+            self.network.send(
+                Envelope(
+                    src=self.address,
+                    dst=envelope.src,
+                    payload=payload,
+                    rpc_id=envelope.rpc_id,
+                    is_reply=True,
+                )
+            )
+
+        return reply
+
+    def _handler_for(self, payload_type: type) -> Callable:
+        handler = self._handler_cache.get(payload_type)
+        if handler is None:
+            name = f"handle_{payload_type.__name__}"
+            handler = getattr(self, name, None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} has no handler {name}"
+                )
+            self._handler_cache[payload_type] = handler
+        return handler

@@ -1,0 +1,110 @@
+"""Structured event tracing for debugging protocol runs.
+
+A :class:`Tracer` collects timestamped, typed records from any component
+that chooses to emit them.  Tracing is strictly opt-in and zero-cost when
+disabled (the default): call sites guard on :attr:`Tracer.enabled`.
+
+Typical use::
+
+    tracer = Tracer()
+    with tracer.capture("commit", "replicate"):
+        ...run simulation...
+    for record in tracer.records:
+        print(record)
+
+The categories used by the core protocol:
+
+========== ==========================================================
+category    meaning
+========== ==========================================================
+commit      a coordinator decided a commit timestamp
+apply       a server applied a transaction's writes
+replicate   a replicate batch was shipped
+ust         a server's UST advanced
+block       a BPR read parked / woke
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    at: float
+    category: str
+    source: str
+    details: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up one detail field."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        detail_text = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[{self.at:.6f}] {self.category:<10} {self.source:<18} {detail_text}"
+
+
+class Tracer:
+    """A sink of :class:`TraceRecord`, filterable by category."""
+
+    def __init__(self, categories: Optional[Set[str]] = None, limit: int = 1_000_000) -> None:
+        self.enabled = False
+        self.categories = categories  # None = all
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, at: float, category: str, source: str, **details: Any) -> None:
+        """Record one event (no-op unless enabled and category selected)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(
+                at=at,
+                category=category,
+                source=source,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    @contextmanager
+    def capture(self, *categories: str) -> Iterator["Tracer"]:
+        """Enable tracing (optionally narrowed to ``categories``) in a scope."""
+        previous = (self.enabled, self.categories)
+        self.enabled = True
+        if categories:
+            self.categories = set(categories)
+        try:
+            yield self
+        finally:
+            self.enabled, self.categories = previous
+
+    def by_category(self) -> Dict[str, List[TraceRecord]]:
+        """Records grouped by category."""
+        groups: Dict[str, List[TraceRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.category, []).append(record)
+        return groups
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+        self.dropped = 0
+
+
+#: Shared default tracer used by servers when none is injected explicitly.
+GLOBAL_TRACER = Tracer()

@@ -1,0 +1,12 @@
+"""Multi-version storage substrate."""
+
+from .mvstore import MultiVersionStore
+from .version import PRELOAD_TID, TransactionId, Version, preload_version
+
+__all__ = [
+    "MultiVersionStore",
+    "PRELOAD_TID",
+    "TransactionId",
+    "Version",
+    "preload_version",
+]

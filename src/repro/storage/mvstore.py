@@ -1,0 +1,137 @@
+"""Multi-version key-value storage with snapshot reads and GC.
+
+Each key maps to a version chain ordered by the version total order
+``(ut, tid, sr)``.  Snapshot reads return the freshest version whose update
+time is within the snapshot (Algorithm 3 lines 4-7).  Garbage collection
+implements Section IV-B: keep the newest version at or below the oldest
+active snapshot plus everything newer; drop the rest.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .version import TransactionId, Version, preload_version
+
+
+class _Chain:
+    """Version chain of one key, sorted ascending by version order key."""
+
+    __slots__ = ("versions", "_order_keys")
+
+    def __init__(self) -> None:
+        self.versions: List[Version] = []
+        self._order_keys: List[Tuple[int, TransactionId, int]] = []
+
+    def insert(self, version: Version) -> None:
+        key = version.order_key()
+        index = bisect.bisect_left(self._order_keys, key)
+        if index < len(self._order_keys) and self._order_keys[index] == key:
+            raise ValueError(f"duplicate version {key} for key {version.key!r}")
+        self._order_keys.insert(index, key)
+        self.versions.insert(index, version)
+
+    def read(self, snapshot: int) -> Optional[Version]:
+        """Freshest version with ``ut <= snapshot`` (None if none exists)."""
+        # All versions with ut <= snapshot sort strictly below this sentinel.
+        sentinel = (snapshot + 1, (-1, -1), -1)
+        index = bisect.bisect_left(self._order_keys, sentinel)
+        if index == 0:
+            return None
+        return self.versions[index - 1]
+
+    def latest(self) -> Optional[Version]:
+        return self.versions[-1] if self.versions else None
+
+    def collect(self, oldest_snapshot: int) -> int:
+        """Trim versions older than the newest one within ``oldest_snapshot``.
+
+        Returns the number of versions removed.
+        """
+        visible = self.read(oldest_snapshot)
+        if visible is None:
+            return 0
+        index = self._order_keys.index(visible.order_key())
+        if index == 0:
+            return 0
+        del self.versions[:index]
+        del self._order_keys[:index]
+        return index
+
+
+class MultiVersionStore:
+    """The versioned storage of one partition server."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, _Chain] = {}
+        self.writes_applied = 0
+        self.versions_collected = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def apply(self, key: str, value: Any, ut: int, tid: TransactionId, sr: int) -> Version:
+        """Install a new version (the UPDATE function of Algorithm 4)."""
+        version = Version(key=key, value=value, ut=ut, tid=tid, sr=sr)
+        self._chain(key).insert(version)
+        self.writes_applied += 1
+        return version
+
+    def preload(self, key: str, value: Any) -> Version:
+        """Install the timestamp-zero base version of ``key``."""
+        version = preload_version(key, value)
+        self._chain(key).insert(version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, key: str, snapshot: int) -> Optional[Version]:
+        """Freshest version of ``key`` within ``snapshot``; None if unknown."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        return chain.read(snapshot)
+
+    def read_latest(self, key: str) -> Optional[Version]:
+        """The newest version of ``key`` regardless of snapshot."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        return chain.latest()
+
+    def versions_of(self, key: str) -> List[Version]:
+        """All live versions of ``key``, oldest first (copy)."""
+        chain = self._chains.get(key)
+        return list(chain.versions) if chain else []
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def collect(self, oldest_snapshot: int) -> int:
+        """Garbage-collect all chains against ``oldest_snapshot``."""
+        removed = sum(chain.collect(oldest_snapshot) for chain in self._chains.values())
+        self.versions_collected += removed
+        return removed
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys stored."""
+        return len(self._chains)
+
+    @property
+    def version_count(self) -> int:
+        """Total number of live versions across all chains."""
+        return sum(len(chain.versions) for chain in self._chains.values())
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored keys."""
+        return iter(self._chains)
+
+    def _chain(self, key: str) -> _Chain:
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = _Chain()
+            self._chains[key] = chain
+        return chain

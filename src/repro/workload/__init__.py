@@ -1,0 +1,17 @@
+"""Workload substrate: YCSB-style generators and closed-loop sessions."""
+
+from .generator import TransactionSpec, WorkloadGenerator, dataset_keys, key_name
+from .runner import SessionDriver, SessionStats, run_transaction
+from .zipfian import UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "SessionDriver",
+    "SessionStats",
+    "TransactionSpec",
+    "UniformGenerator",
+    "WorkloadGenerator",
+    "ZipfianGenerator",
+    "dataset_keys",
+    "key_name",
+    "run_transaction",
+]

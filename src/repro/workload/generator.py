@@ -1,0 +1,96 @@
+"""Transaction mix generator (Section V-A workloads).
+
+Every transaction performs ``reads_per_tx + writes_per_tx`` operations over
+``partitions_per_tx`` distinct partitions.  With probability ``locality`` a
+transaction is *local-DC* — it only touches partitions replicated in the
+client's DC — otherwise it is *multi-DC* and draws partitions from the whole
+keyspace.  Operations are spread round-robin over the chosen partitions and
+keys are drawn zipfian within each partition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cluster.topology import ClusterSpec
+from ..config import WorkloadConfig
+from .zipfian import UniformGenerator, ZipfianGenerator
+
+
+def key_name(partition: int, rank: int) -> str:
+    """The canonical key of ``rank`` within ``partition`` (routes by prefix)."""
+    return f"p{partition}:k{rank:06d}"
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """One generated transaction: what to read, what to write."""
+
+    reads: Tuple[str, ...]
+    writes: Tuple[Tuple[str, str], ...]
+    partitions: Tuple[int, ...]
+    is_local: bool
+
+
+class WorkloadGenerator:
+    """Generates the transaction stream for clients of one DC."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        workload: WorkloadConfig,
+        dc_id: int,
+        rng: random.Random,
+    ) -> None:
+        self.spec = spec
+        self.workload = workload
+        self.dc_id = dc_id
+        self._rng = rng
+        self._local_partitions = spec.dc_partitions(dc_id)
+        self._all_partitions = list(range(spec.n_partitions))
+        if workload.zipf_theta > 0.0:
+            self._key_gen = ZipfianGenerator(workload.keys_per_partition, workload.zipf_theta)
+        else:
+            self._key_gen = UniformGenerator(workload.keys_per_partition)
+        self._payload = "v" * workload.value_size
+        self._sequence = 0
+
+    def next_transaction(self) -> TransactionSpec:
+        """Draw the next transaction of the stream."""
+        is_local = self._rng.random() < self.workload.locality
+        pool = self._local_partitions if is_local else self._all_partitions
+        count = min(self.workload.partitions_per_tx, len(pool))
+        partitions = self._rng.sample(pool, count)
+        reads = tuple(
+            self._pick_key(partitions[i % count]) for i in range(self.workload.reads_per_tx)
+        )
+        writes = self._pick_writes(partitions, count)
+        self._sequence += 1
+        return TransactionSpec(
+            reads=reads,
+            writes=writes,
+            partitions=tuple(partitions),
+            is_local=is_local,
+        )
+
+    def _pick_key(self, partition: int) -> str:
+        rank = self._key_gen.sample(self._rng)
+        return key_name(partition, rank)
+
+    def _pick_writes(self, partitions: List[int], count: int) -> Tuple[Tuple[str, str], ...]:
+        writes: Dict[str, str] = {}
+        for i in range(self.workload.writes_per_tx):
+            key = self._pick_key(partitions[i % count])
+            writes[key] = f"{self._payload}:{self._sequence}:{i}"
+        return tuple(writes.items())
+
+    def all_keys_of_partition(self, partition: int) -> List[str]:
+        """Every key of ``partition`` (used to preload the dataset)."""
+        return [key_name(partition, rank) for rank in range(self.workload.keys_per_partition)]
+
+
+def dataset_keys(spec: ClusterSpec, workload: WorkloadConfig, partition: int) -> List[str]:
+    """Keys preloaded into ``partition`` before an experiment starts."""
+    return [key_name(partition, rank) for rank in range(workload.keys_per_partition)]

@@ -1,0 +1,56 @@
+"""YCSB's zipfian generator (Gray's algorithm).
+
+The paper draws keys "within a partition according to a zipfian distribution,
+with parameter 0.99, which is the default in YCSB" (Section V-A).  This is a
+faithful port of YCSB's ``ZipfianGenerator``: item ranks 0..n-1 are drawn
+with probability proportional to ``1 / (rank+1)^theta``.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ZipfianGenerator:
+    """Draws zipf-distributed ranks in ``[0, n_items)``."""
+
+    def __init__(self, n_items: int, theta: float = 0.99) -> None:
+        if n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.n_items = n_items
+        self.theta = theta
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(n_items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._eta = (1.0 - (2.0 / n_items) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank draw; rank 0 is the hottest item."""
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n_items * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class UniformGenerator:
+    """Uniform ranks in ``[0, n_items)`` (used by ablations)."""
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        self.n_items = n_items
+
+    def sample(self, rng: random.Random) -> int:
+        """One uniform rank draw."""
+        return rng.randrange(self.n_items)

@@ -1,0 +1,84 @@
+"""Unit + property tests for the client-side write cache."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import WriteCache
+from repro.storage.version import Version
+
+
+def v(key: str, ut: int, seq: int = 1, sr: int = 0) -> Version:
+    return Version(key=key, value=f"{key}@{ut}", ut=ut, tid=(seq, 1), sr=sr)
+
+
+class TestWriteCache:
+    def test_empty(self):
+        cache = WriteCache()
+        assert len(cache) == 0
+        assert cache.lookup("x") is None
+        assert "x" not in cache
+
+    def test_insert_and_lookup(self):
+        cache = WriteCache()
+        version = v("x", 10)
+        cache.insert(version)
+        assert cache.lookup("x") is version
+        assert "x" in cache
+        assert list(cache.keys()) == ["x"]
+
+    def test_newer_overwrites_older(self):
+        cache = WriteCache()
+        cache.insert(v("x", 10))
+        cache.insert(v("x", 20))
+        assert cache.lookup("x").ut == 20
+
+    def test_stale_insert_does_not_shadow(self):
+        cache = WriteCache()
+        cache.insert(v("x", 20))
+        cache.insert(v("x", 10))
+        assert cache.lookup("x").ut == 20
+
+    def test_prune_removes_covered_entries(self):
+        cache = WriteCache()
+        cache.insert(v("a", 10))
+        cache.insert(v("b", 20))
+        cache.insert(v("c", 30))
+        removed = cache.prune(20)
+        assert removed == 2
+        assert cache.lookup("a") is None
+        assert cache.lookup("b") is None
+        assert cache.lookup("c").ut == 30
+
+    def test_prune_boundary_is_inclusive(self):
+        cache = WriteCache()
+        cache.insert(v("a", 10))
+        assert cache.prune(10) == 1  # Algorithm 1 line 6: "up to ust_c"
+
+    def test_prune_empty(self):
+        assert WriteCache().prune(100) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(1, 100)),
+            max_size=50,
+        ),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=100)
+    def test_prune_model(self, inserts, threshold):
+        """Cache behaves like 'newest version per key, minus pruned'."""
+        cache = WriteCache()
+        model = {}
+        for seq, (key, ut) in enumerate(inserts, start=1):
+            version = v(key, ut, seq=seq)
+            cache.insert(version)
+            if key not in model or version.newer_than(model[key]):
+                model[key] = version
+        cache.prune(threshold)
+        survivors = {k: ver for k, ver in model.items() if ver.ut > threshold}
+        assert {k: cache.lookup(k) for k in survivors} == survivors
+        for key in model:
+            if key not in survivors:
+                assert cache.lookup(key) is None

@@ -1,0 +1,150 @@
+"""Mutation testing of the consistency checker.
+
+The strongest evidence a checker works is that it flags *corrupted* versions
+of histories it accepts.  These property tests generate a valid causal
+history (sequential sessions over shared keys), verify it is clean, then
+apply a random corruption — and assert the checker notices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.oracle import ConsistencyOracle, version_id
+from repro.core.client import ReadResult
+from repro.storage.version import Version
+
+KEYS = ["a", "b", "c"]
+
+
+def build_valid_history(seed: int, n_steps: int):
+    """A well-formed history: clients alternately read-all then write one key.
+
+    Reads always return the globally newest committed version of each key
+    (single sequential world — trivially causal), so the checker must accept
+    it.  Returns (oracle, log) where the log allows targeted corruption.
+    """
+    rng = random.Random(seed)
+    oracle = ConsistencyOracle()
+    latest: Dict[str, Version] = {}
+    history: List[Version] = []
+    seq = 0
+    for step in range(n_steps):
+        client = f"client-{rng.randrange(3)}"
+        # Read phase: everything currently committed.
+        results = {
+            key: ReadResult(key=key, value=v.value, source="store", version=v)
+            for key, v in latest.items()
+        }
+        if results:
+            oracle.record_read(
+                client=client, tid=(step, 99), snapshot=10**9,
+                results=results, at=float(step),
+            )
+        # Write phase: one key, strictly increasing timestamps.
+        seq += 1
+        key = rng.choice(KEYS)
+        version = Version(key=key, value=f"v{seq}", ut=seq * 10, tid=(seq, 1), sr=0)
+        oracle.record_commit(
+            client=client, tid=version.tid, commit_ts=version.ut,
+            written={key: version},
+            read_versions=[r.version for r in results.values()],
+            at=float(step) + 0.5,
+        )
+        latest[key] = version
+        history.append(version)
+    return oracle, history, latest
+
+
+class TestMutations:
+    @given(st.integers(0, 10_000), st.integers(5, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_history_accepted(self, seed, n_steps):
+        oracle, _, _ = build_valid_history(seed, n_steps)
+        assert ConsistencyChecker(oracle).check_all() == []
+
+    @given(st.integers(0, 10_000), st.integers(8, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_stale_read_mutation_is_caught(self, seed, n_steps):
+        """Corrupt the final read: return the OLDEST version of a key that
+        has at least two versions, after the session has seen the newest."""
+        oracle, history, latest = build_valid_history(seed, n_steps)
+        by_key: Dict[str, List[Version]] = {}
+        for version in history:
+            by_key.setdefault(version.key, []).append(version)
+        multi = [key for key, versions in by_key.items() if len(versions) >= 2]
+        if not multi:
+            return  # degenerate draw: nothing to corrupt
+        key = multi[0]
+        stale = by_key[key][0]
+        client = "client-0"
+        # The client first observes the fresh state...
+        fresh_results = {
+            k: ReadResult(key=k, value=v.value, source="store", version=v)
+            for k, v in latest.items()
+        }
+        oracle.record_read(
+            client=client, tid=(9_000, 99), snapshot=10**9,
+            results=fresh_results, at=1_000.0,
+        )
+        # ...then a corrupted read returns the stale version.
+        oracle.record_read(
+            client=client, tid=(9_001, 99), snapshot=10**9,
+            results={
+                key: ReadResult(key=key, value=stale.value, source="store", version=stale)
+            },
+            at=1_001.0,
+        )
+        violations = ConsistencyChecker(oracle).check_all()
+        assert violations, "mutation not detected"
+        kinds = {violation.kind for violation in violations}
+        assert "monotonic-reads" in kinds
+
+    @given(st.integers(0, 10_000), st.integers(8, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_fractured_atomic_write_is_caught(self, seed, n_steps):
+        """Append an atomic two-key transaction, then a read returning one of
+        its writes next to a pre-transaction version of the other key."""
+        oracle, history, latest = build_valid_history(seed, n_steps)
+        old_b = latest.get("b")
+        if old_b is None:
+            return
+        pair = {
+            "a": Version(key="a", value="pairA", ut=10**6, tid=(777, 7), sr=0),
+            "b": Version(key="b", value="pairB", ut=10**6, tid=(777, 7), sr=0),
+        }
+        oracle.record_commit(
+            client="writer", tid=(777, 7), commit_ts=10**6,
+            written=pair, read_versions=[], at=2_000.0,
+        )
+        oracle.record_read(
+            client="fresh-reader", tid=(9_100, 99), snapshot=10**9,
+            results={
+                "a": ReadResult(key="a", value="pairA", source="store", version=pair["a"]),
+                "b": ReadResult(key="b", value=old_b.value, source="store", version=old_b),
+            },
+            at=2_001.0,
+        )
+        violations = ConsistencyChecker(oracle).check_all()
+        kinds = {violation.kind for violation in violations}
+        assert "atomic-visibility" in kinds
+
+    @given(st.integers(0, 10_000), st.integers(8, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_timestamp_inversion_is_caught(self, seed, n_steps):
+        """Append a commit whose ct does not exceed a dependency's ct."""
+        oracle, history, latest = build_valid_history(seed, n_steps)
+        dep = history[-1]
+        bad = Version(key="c", value="bad", ut=dep.ut, tid=(888, 8), sr=0)
+        oracle.record_commit(
+            client="confused", tid=bad.tid, commit_ts=bad.ut,
+            written={"c": bad}, read_versions=[dep], at=3_000.0,
+        )
+        violations = ConsistencyChecker(oracle).check_dependency_timestamps()
+        assert violations
+        assert all(v.kind == "dependency-timestamps" for v in violations)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+FAST = ["--dcs", "3", "--machines", "2", "--threads", "1",
+        "--keys", "20", "--warmup", "0.4", "--duration", "0.4"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = cli.build_parser().parse_args(["run"])
+        assert args.protocol == "paris"
+        assert args.mix == "95:5"
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure", "fig99"])
+
+    def test_config_from_args(self):
+        args = cli.build_parser().parse_args(["run", *FAST, "--mix", "50:50"])
+        config = cli.config_from_args(args)
+        assert config.cluster.n_dcs == 3
+        assert config.workload.writes_per_tx == 10
+        assert config.workload.threads_per_client == 1
+        # partitions_per_tx is capped by the machines/DC pool.
+        assert config.workload.partitions_per_tx == 2
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        assert cli.main(["run", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "UST staleness" in out
+        assert "read blocking" not in out  # PaRiS never blocks
+
+    def test_run_bpr_reports_blocking(self, capsys):
+        assert cli.main(["run", *FAST, "--protocol", "bpr"]) == 0
+        out = capsys.readouterr().out
+        assert "read blocking" in out
+
+    def test_compare(self, capsys):
+        assert cli.main(["compare", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "paris" in out and "bpr" in out
+        assert "PaRiS vs BPR" in out
+
+    def test_check_clean_protocol_exits_zero(self, capsys):
+        assert cli.main(["check", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_topology(self, capsys):
+        assert cli.main(["topology", "--dcs", "5", "--machines", "18", "--rf", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "45 partitions" in out
+        assert "2.50x capacity" in out
+
+    def test_figure_table1(self, capsys):
+        assert cli.main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PaRiS (this work)" in out
+
+    def test_format_result_fields(self):
+        from repro import run_experiment, small_test_config
+
+        result = run_experiment(
+            small_test_config().with_(warmup=0.4, duration=0.4), protocol="paris"
+        )
+        text = cli.format_result(result)
+        assert "tx/s" in text and "ms" in text
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert cli.main(["run", *FAST, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["protocol"] == "paris"
+        assert data["throughput"] > 0
+        assert isinstance(data["visibility_cdf"], list)
+
+    def test_result_round_trips_through_json(self):
+        import json
+
+        from repro import run_experiment, small_test_config
+
+        result = run_experiment(
+            small_test_config().with_(warmup=0.4, duration=0.4, visibility_sample_rate=1.0),
+            protocol="paris",
+        )
+        data = json.loads(result.to_json())
+        assert data["transactions_measured"] == result.transactions_measured
+        assert data["visibility_cdf"][0]["fraction"] == 0.0

@@ -1,0 +1,169 @@
+"""Unit + property tests for physical clocks and HLCs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.hlc import (
+    COUNTER_MASK,
+    HybridLogicalClock,
+    micros_to_timestamp,
+    pack,
+    physical_part,
+    timestamp_to_seconds,
+    unpack,
+)
+from repro.clocks.physical import PhysicalClock
+from repro.sim.kernel import Simulator
+
+
+class TestPhysicalClock:
+    def test_tracks_sim_time(self):
+        sim = Simulator()
+        clock = PhysicalClock(sim)
+        sim.call_after(2.0, lambda: None)
+        sim.run()
+        assert clock.now_seconds() == pytest.approx(2.0)
+
+    def test_offset_shifts_reading(self):
+        sim = Simulator()
+        clock = PhysicalClock(sim, offset=0.5)
+        assert clock.now_seconds() == pytest.approx(0.5)
+
+    def test_negative_reading_clamped(self):
+        sim = Simulator()
+        clock = PhysicalClock(sim, offset=-5.0)
+        assert clock.now_seconds() == 0.0
+
+    def test_drift_scales_time(self):
+        sim = Simulator()
+        clock = PhysicalClock(sim, drift=0.1)
+        sim.call_after(10.0, lambda: None)
+        sim.run()
+        assert clock.now_seconds() == pytest.approx(11.0)
+
+    def test_extreme_negative_drift_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalClock(Simulator(), drift=-1.0)
+
+    def test_micros_strictly_monotonic_even_when_time_frozen(self):
+        sim = Simulator()
+        clock = PhysicalClock(sim)
+        readings = [clock.now_micros() for _ in range(10)]
+        assert readings == sorted(set(readings))
+
+    def test_with_skew_respects_bounds(self):
+        sim = Simulator()
+        rng = random.Random(3)
+        for _ in range(50):
+            clock = PhysicalClock.with_skew(sim, rng, max_offset=0.002, max_drift=1e-4)
+            assert -0.002 <= clock.offset <= 0.002
+            assert -1e-4 <= clock.drift <= 1e-4
+
+
+class TestPacking:
+    def test_round_trip(self):
+        ts = pack(123_456, 42)
+        assert unpack(ts) == (123_456, 42)
+        assert physical_part(ts) == 123_456
+
+    def test_order_is_lexicographic(self):
+        assert pack(1, 0) < pack(1, 1) < pack(2, 0)
+
+    def test_counter_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            pack(1, COUNTER_MASK + 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pack(-1, 0)
+
+    def test_micros_to_timestamp(self):
+        assert unpack(micros_to_timestamp(99)) == (99, 0)
+
+    def test_timestamp_to_seconds(self):
+        assert timestamp_to_seconds(pack(2_500_000, 7)) == pytest.approx(2.5)
+
+    @given(st.integers(0, 2**47), st.integers(0, COUNTER_MASK))
+    def test_pack_unpack_inverse(self, l, c):
+        assert unpack(pack(l, c)) == (l, c)
+
+    @given(
+        st.integers(0, 2**40),
+        st.integers(0, COUNTER_MASK),
+        st.integers(0, 2**40),
+        st.integers(0, COUNTER_MASK),
+    )
+    def test_packed_order_matches_pair_order(self, l1, c1, l2, c2):
+        assert (pack(l1, c1) < pack(l2, c2)) == ((l1, c1) < (l2, c2))
+
+
+def make_hlc(sim=None, offset=0.0):
+    sim = sim or Simulator()
+    return HybridLogicalClock(PhysicalClock(sim, offset=offset)), sim
+
+
+class TestHlc:
+    def test_now_is_strictly_monotonic(self):
+        hlc, _ = make_hlc()
+        values = [hlc.now() for _ in range(100)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_now_tracks_physical_time(self):
+        hlc, sim = make_hlc(offset=1.0)
+        ts = hlc.now()
+        assert physical_part(ts) >= 1_000_000
+
+    def test_update_exceeds_incoming(self):
+        hlc, _ = make_hlc()
+        incoming = pack(10_000_000, 5)  # far in the future
+        merged = hlc.update(incoming)
+        assert merged > incoming
+        assert hlc.now() > merged  # and the clock keeps moving past it
+
+    def test_update_exceeds_previous_local(self):
+        hlc, _ = make_hlc()
+        before = hlc.now()
+        merged = hlc.update(pack(0, 0))
+        assert merged > before
+
+    def test_observe_adopts_larger(self):
+        hlc, _ = make_hlc()
+        big = pack(99_000_000, 3)
+        hlc.observe(big)
+        assert hlc.current == big
+        assert hlc.now() > big
+
+    def test_observe_ignores_smaller(self):
+        hlc, _ = make_hlc()
+        current = hlc.now()
+        hlc.observe(pack(0, 1))
+        assert hlc.current == current
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 2**30)), max_size=200))
+    @settings(max_examples=50)
+    def test_monotonic_under_arbitrary_event_mix(self, events):
+        """now()/update() readings are strictly increasing, whatever arrives."""
+        hlc, _ = make_hlc()
+        last = 0
+        for is_update, incoming_micros in events:
+            if is_update:
+                value = hlc.update(pack(incoming_micros, 0))
+                assert value > pack(incoming_micros, 0)
+            else:
+                value = hlc.now()
+            assert value > last
+            last = value
+
+    def test_two_clocks_converge_via_messages(self):
+        """The HLC property: exchanging timestamps bounds divergence."""
+        sim = Simulator()
+        fast = HybridLogicalClock(PhysicalClock(sim, offset=0.010))
+        slow = HybridLogicalClock(PhysicalClock(sim, offset=0.0))
+        sent = fast.now()
+        merged = slow.update(sent)
+        assert merged > sent  # the slow node jumped past the fast sender

@@ -1,0 +1,144 @@
+"""Determinism guarantees of the substrate and full simulations.
+
+Reproducibility is a design requirement (DESIGN.md): identical seeds must
+produce bit-identical histories, so experiments are comparable across code
+changes and failures are replayable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_cluster, run_experiment, small_test_config
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Envelope, Network, Node
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        rngs = RngRegistry(7)
+        stream = rngs.stream("a")
+        assert rngs.stream("a") is stream
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("x")
+        b = RngRegistry(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        """Draws from one stream do not perturb another."""
+        lone = RngRegistry(7)
+        pair = RngRegistry(7)
+        _ = [pair.stream("noise").random() for _ in range(100)]
+        assert lone.stream("signal").random() == pair.stream("signal").random()
+
+    def test_different_names_differ(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("a").random() != rngs.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("a").random() != RngRegistry(2).stream("a").random()
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RngRegistry(7)
+        fork = parent.fork("child")
+        assert fork.seed != parent.seed
+        assert fork.stream("a").random() != parent.stream("a").random()
+
+    @given(st.integers(0, 2**32), st.text(min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_any_seed_name_reproducible(self, seed, name):
+        a = RngRegistry(seed).stream(name)
+        b = RngRegistry(seed).stream(name)
+        assert a.random() == b.random()
+
+
+class _Recorder(Node):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.log = []
+
+    def handle_str(self, src, msg, reply):
+        self.log.append((round(self.sim.now, 12), src, msg))
+
+
+def _run_network_schedule(seed: int, sends):
+    sim = Simulator()
+    network = Network(sim, LatencyModel.for_paper_deployment(3, 0.3), RngRegistry(seed))
+    nodes = [_Recorder(network, f"n{i}", i % 3) for i in range(4)]
+    for delay, src, dst, payload in sends:
+        sim.call_after(
+            delay, lambda s=src, d=dst, p=payload: nodes[s].cast(f"n{d}", p)
+        )
+    sim.run()
+    return [node.log for node in nodes]
+
+
+class TestNetworkDeterminism:
+    @given(
+        st.integers(0, 1000),
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1.0, allow_nan=False),
+                st.integers(0, 3),
+                st.integers(0, 3),
+                st.text(max_size=4),
+            ),
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=30)
+    def test_identical_runs_identical_logs(self, seed, sends):
+        sends = [s for s in sends if s[1] != s[2]]
+        assert _run_network_schedule(seed, sends) == _run_network_schedule(seed, sends)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 0.5, allow_nan=False), st.text(max_size=3)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_fifo_order_per_link(self, sends):
+        """Messages from one node to another arrive in send order, under any
+        schedule and jitter."""
+        sim = Simulator()
+        network = Network(
+            sim, LatencyModel.for_paper_deployment(2, 0.5), RngRegistry(3)
+        )
+        sender = _Recorder(network, "src", 0)
+        receiver = _Recorder(network, "dst", 1)
+        expected = []
+        ordered = sorted(sends, key=lambda s: s[0])
+        for i, (delay, text) in enumerate(ordered):
+            payload = f"{i}:{text}"
+            expected.append(payload)
+            sim.call_after(delay, lambda p=payload: sender.cast("dst", p))
+        sim.run()
+        assert [msg for _, _, msg in receiver.log] == expected
+
+
+class TestFullSimulationDeterminism:
+    def test_cluster_build_deterministic(self):
+        config = small_test_config(seed=99)
+        a = build_cluster(config, protocol="paris")
+        b = build_cluster(config, protocol="paris")
+        a.sim.run(until=1.0)
+        b.sim.run(until=1.0)
+        assert [s.ust for s in a.all_servers()] == [s.ust for s in b.all_servers()]
+        assert a.network.metrics.by_type == b.network.metrics.by_type
+
+    def test_experiment_fully_deterministic(self):
+        config = small_test_config(seed=5, threads_per_client=2).with_(
+            warmup=0.4, duration=0.5
+        )
+        a = run_experiment(config, protocol="bpr")
+        b = run_experiment(config, protocol="bpr")
+        assert a.throughput == b.throughput
+        assert a.latency_p99 == b.latency_p99
+        assert a.blocking_mean == b.blocking_mean
+        assert a.messages_total == b.messages_total

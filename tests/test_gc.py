@@ -1,0 +1,113 @@
+"""Garbage collection of old versions (Section IV-B) — safety and progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from tests.conftest import drive, run_for
+
+
+def churn(cluster, key: str, n_updates: int, client=None):
+    """Commit ``n_updates`` successive versions of ``key``."""
+    client = client or cluster.new_client(0, 0)
+
+    def txs():
+        for i in range(n_updates):
+            yield client.start_tx()
+            client.write({key: f"v{i}"})
+            yield client.commit()
+
+    drive(cluster, txs(), horizon=60.0)
+    return client
+
+
+class TestGcProgress:
+    def test_old_versions_eventually_collected(self, tiny_cluster):
+        churn(tiny_cluster, "p0:k000000", 30)
+        run_for(tiny_cluster, 2.0)  # UST covers the churn; GC ticks fire
+        for dc in tiny_cluster.spec.replica_dcs(0):
+            chain = tiny_cluster.server(dc, 0).store.versions_of("p0:k000000")
+            assert len(chain) <= 3, f"DC {dc} kept {len(chain)} versions"
+
+    def test_latest_version_always_survives(self, tiny_cluster):
+        churn(tiny_cluster, "p0:k000000", 20)
+        run_for(tiny_cluster, 2.0)
+        for dc in tiny_cluster.spec.replica_dcs(0):
+            latest = tiny_cluster.server(dc, 0).store.read_latest("p0:k000000")
+            assert latest.value == "v19"
+
+    def test_collected_counter_advances(self, tiny_cluster):
+        churn(tiny_cluster, "p0:k000001", 25)
+        run_for(tiny_cluster, 2.0)
+        collected = sum(
+            s.metrics.versions_collected for s in tiny_cluster.all_servers()
+        )
+        assert collected > 0
+
+    def test_gc_does_not_run_before_stabilization(self, tiny_config):
+        """With oldest_global still 0, nothing may be collected."""
+        cluster = build_cluster(tiny_config, protocol="paris")
+        server = cluster.server(0, 0)
+        server._gc_tick()
+        assert server.metrics.versions_collected == 0
+
+
+class TestGcSafety:
+    def test_reads_at_stable_snapshot_survive_gc(self, tiny_cluster):
+        """A transaction's snapshot is always >= S_old, so reads succeed."""
+        client = churn(tiny_cluster, "p0:k000000", 15)
+        run_for(tiny_cluster, 2.0)
+
+        def read_tx():
+            yield client.start_tx()
+            values = yield client.read(["p0:k000000"])
+            client.finish()
+            return values
+
+        values = drive(tiny_cluster, read_tx())
+        assert values["p0:k000000"].value == "v14"
+
+    def test_concurrent_reader_during_churn_and_gc(self, tiny_cluster):
+        """A reader polling throughout churn + GC never hits a missing version."""
+        reader = tiny_cluster.new_client(1, 1)
+        failures = []
+
+        def read_loop():
+            for _ in range(60):
+                yield reader.start_tx()
+                values = yield reader.read(["p0:k000000"])
+                reader.finish()
+                if values["p0:k000000"].value is None:
+                    failures.append(tiny_cluster.sim.now)
+                yield 0.05
+
+        process = tiny_cluster.sim.spawn(read_loop())
+        churn(tiny_cluster, "p0:k000000", 40)
+        run_for(tiny_cluster, 5.0)
+        assert process.done
+        assert failures == []
+
+    def test_oldest_active_holds_gc_back(self, tiny_cluster):
+        """A long-running transaction pins its snapshot: versions it can see
+        are not collected while it is active."""
+        pinner = tiny_cluster.new_client(0, 0)
+
+        def pin():
+            handle = yield pinner.start_tx()
+            return handle
+
+        handle = drive(tiny_cluster, pin())
+        churn(tiny_cluster, "p0:k000000", 20)
+        run_for(tiny_cluster, 2.0)
+        # The pinned snapshot's view must still exist on the replica.
+        for dc in tiny_cluster.spec.replica_dcs(0):
+            version = tiny_cluster.server(dc, 0).store.read("p0:k000000", handle.snapshot)
+            assert version is not None
+        pinner.finish()
+
+    def test_gc_bound_is_global_minimum(self, tiny_cluster):
+        run_for(tiny_cluster, 1.0)
+        bounds = [s.oldest_global for s in tiny_cluster.all_servers()]
+        installed = min(s.local_stable_time for s in tiny_cluster.all_servers())
+        assert all(0 < b <= installed for b in bounds)

@@ -1,0 +1,102 @@
+"""Unit tests for the CPU queueing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Simulator
+
+
+class TestCpu:
+    def test_single_job_runs_for_its_cost(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        done = []
+        cpu.submit(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.5]
+
+    def test_jobs_queue_fifo_on_one_core(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        done = []
+        for i in range(3):
+            cpu.submit(1.0, lambda i=i: done.append((i, sim.now)))
+        sim.run()
+        assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_multiple_cores_run_in_parallel(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2)
+        done = []
+        for i in range(4):
+            cpu.submit(1.0, lambda i=i: done.append((i, sim.now)))
+        sim.run()
+        assert done == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+    def test_zero_cost_preserves_order(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        done = []
+        cpu.submit(1.0, lambda: done.append("slow"))
+        cpu.submit(0.0, lambda: done.append("fast"))
+        sim.run()
+        assert done == ["slow", "fast"]
+
+    def test_negative_cost_rejected(self):
+        cpu = Cpu(Simulator(), cores=1)
+        with pytest.raises(ValueError):
+            cpu.submit(-1.0, lambda: None)
+
+    def test_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            Cpu(Simulator(), cores=0)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        for _ in range(3):
+            cpu.submit(1.0, lambda: None)
+        assert cpu.queue_length == 2  # one running, two waiting
+        sim.run()
+        assert cpu.queue_length == 0
+
+    def test_busy_time_and_utilization(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2)
+        cpu.submit(1.0, lambda: None)
+        cpu.submit(3.0, lambda: None)
+        sim.run()
+        assert cpu.busy_time == pytest.approx(4.0)
+        # Elapsed 3.0 s, 2 cores -> 6 core-seconds available, 4 used.
+        assert cpu.utilization(3.0) == pytest.approx(4.0 / 6.0)
+        assert cpu.utilization(0.0) == 0.0
+
+    def test_jobs_submitted_while_busy_wait(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        done = []
+        cpu.submit(2.0, lambda: cpu.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [3.0]
+
+    def test_jobs_done_counter(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=4)
+        for _ in range(10):
+            cpu.submit(0.1, lambda: None)
+        sim.run()
+        assert cpu.jobs_done == 10
+
+    def test_idle_gap_then_new_work(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        done = []
+        cpu.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        sim.call_after(5.0, lambda: cpu.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        # Second job starts at t=6 (submitted at 6? no: submitted at t=6? it
+        # was scheduled at now(1.0)+5.0 = 6.0 and costs 1.0).
+        assert done == [1.0, 7.0]

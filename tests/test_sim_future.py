@@ -1,0 +1,134 @@
+"""Unit tests for futures and combinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.future import Future, FutureAlreadyResolved, all_of, map_future
+
+
+class TestFuture:
+    def test_initially_pending(self):
+        future = Future()
+        assert not future.done
+        with pytest.raises(RuntimeError):
+            _ = future.value
+
+    def test_resolve_sets_value(self):
+        future = Future()
+        future.resolve(5)
+        assert future.done
+        assert future.value == 5
+        assert future.exception is None
+
+    def test_resolve_default_is_none(self):
+        future = Future()
+        future.resolve()
+        assert future.value is None
+
+    def test_double_resolve_raises(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(FutureAlreadyResolved):
+            future.resolve(2)
+
+    def test_fail_then_value_raises(self):
+        future = Future()
+        future.fail(ValueError("x"))
+        assert future.done
+        assert isinstance(future.exception, ValueError)
+        with pytest.raises(ValueError):
+            _ = future.value
+
+    def test_fail_after_resolve_raises(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(FutureAlreadyResolved):
+            future.fail(RuntimeError("late"))
+
+    def test_callbacks_run_in_order(self):
+        future = Future()
+        order = []
+        future.add_done_callback(lambda f: order.append(1))
+        future.add_done_callback(lambda f: order.append(2))
+        future.resolve("v")
+        assert order == [1, 2]
+
+    def test_callback_added_after_resolution_runs_immediately(self):
+        future = Future()
+        future.resolve("v")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == ["v"]
+
+    def test_callbacks_receive_failed_future(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(lambda f: seen.append(type(f.exception)))
+        future.fail(KeyError("k"))
+        assert seen == [KeyError]
+
+
+class TestAllOf:
+    def test_empty_resolves_immediately(self):
+        aggregate = all_of([])
+        assert aggregate.done
+        assert aggregate.value == []
+
+    def test_preserves_input_order(self):
+        futures = [Future(), Future(), Future()]
+        aggregate = all_of(futures)
+        futures[2].resolve("c")
+        futures[0].resolve("a")
+        assert not aggregate.done
+        futures[1].resolve("b")
+        assert aggregate.value == ["a", "b", "c"]
+
+    def test_already_resolved_inputs(self):
+        f1, f2 = Future(), Future()
+        f1.resolve(1)
+        f2.resolve(2)
+        assert all_of([f1, f2]).value == [1, 2]
+
+    def test_failure_propagates_first_error(self):
+        futures = [Future(), Future()]
+        aggregate = all_of(futures)
+        futures[0].fail(ValueError("first"))
+        futures[1].fail(RuntimeError("second"))
+        with pytest.raises(ValueError, match="first"):
+            _ = aggregate.value
+
+    def test_failure_waits_for_all_inputs(self):
+        futures = [Future(), Future()]
+        aggregate = all_of(futures)
+        futures[0].fail(ValueError("x"))
+        assert not aggregate.done  # second input still pending
+        futures[1].resolve("ok")
+        assert aggregate.done
+
+
+class TestMapFuture:
+    def test_maps_value(self):
+        future = Future()
+        mapped = map_future(future, lambda v: v * 2)
+        future.resolve(21)
+        assert mapped.value == 42
+
+    def test_maps_already_resolved(self):
+        future = Future()
+        future.resolve("a")
+        assert map_future(future, str.upper).value == "A"
+
+    def test_propagates_failure(self):
+        future = Future()
+        mapped = map_future(future, lambda v: v)
+        future.fail(KeyError("k"))
+        with pytest.raises(KeyError):
+            _ = mapped.value
+
+    def test_transform_exception_fails_mapped(self):
+        future = Future()
+        mapped = map_future(future, lambda v: 1 / v)
+        future.resolve(0)
+        with pytest.raises(ZeroDivisionError):
+            _ = mapped.value

@@ -1,0 +1,255 @@
+"""Unit tests for the discrete-event kernel: ordering, timers, processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.future import Future
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(0.3, lambda: fired.append("c"))
+        sim.call_after(0.1, lambda: fired.append("a"))
+        sim.call_after(0.2, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.call_after(1.0, lambda label=label: fired.append(label))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_cannot_schedule_into_the_past(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-0.1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.call_after(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, lambda: fired.append(1))
+        sim.call_after(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 3]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.call_after(1.0, chain)
+
+        sim.call_after(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.call_after(0.1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestPeriodicTimers:
+    def test_every_fires_at_period(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(0.5, lambda: ticks.append(sim.now))
+        sim.run(until=2.2)
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_every_with_phase(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), phase=0.25)
+        sim.run(until=3.0)
+        assert ticks == [1.25, 2.25]
+
+    def test_every_cancel_stops_ticking(self):
+        sim = Simulator()
+        ticks = []
+        cancel = sim.every(0.5, lambda: ticks.append(sim.now))
+        sim.run(until=1.1)
+        cancel()
+        sim.run(until=5.0)
+        assert ticks == [0.5, 1.0]
+
+    def test_every_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+    def test_every_with_jitter(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), jitter=lambda: 0.1)
+        sim.run(until=3.5)
+        # First tick at 1.0, subsequent intervals are 1.1.
+        assert ticks == pytest.approx([1.0, 2.1, 3.2])
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 1.0
+            marks.append(sim.now)
+            yield 0.5
+            marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert marks == [0.0, 1.0, 1.5]
+
+    def test_process_waits_on_future(self):
+        sim = Simulator()
+        future = Future()
+        got = []
+
+        def proc():
+            value = yield future
+            got.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.call_after(2.0, lambda: future.resolve("hi"))
+        sim.run()
+        assert got == [(2.0, "hi")]
+
+    def test_process_waits_on_list_of_futures(self):
+        sim = Simulator()
+        futures = [Future(), Future()]
+
+        def proc():
+            values = yield futures
+            return values
+
+        process = sim.spawn(proc())
+        sim.call_after(1.0, lambda: futures[1].resolve("b"))
+        sim.call_after(2.0, lambda: futures[0].resolve("a"))
+        sim.run()
+        assert process.completed.value == ["a", "b"]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.done
+        assert process.completed.value == 42
+
+    def test_failed_future_raises_inside_process(self):
+        sim = Simulator()
+        future = Future()
+        caught = []
+
+        def proc():
+            try:
+                yield future
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(proc())
+        sim.call_after(1.0, lambda: future.fail(ValueError("boom")))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_uncaught_process_exception_fails_completion(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.5
+            raise RuntimeError("dead")
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.done
+        with pytest.raises(RuntimeError, match="dead"):
+            _ = process.completed.value
+
+    def test_invalid_yield_value_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            _ = process.completed.value
+
+    def test_negative_sleep_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            _ = process.completed.value
+
+    def test_timeout_future(self):
+        sim = Simulator()
+
+        def proc():
+            value = yield sim.timeout(1.5, "done")
+            return value
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.completed.value == "done"
+        assert sim.now == 1.5
+
+    def test_run_until_resolved(self):
+        sim = Simulator()
+        future = Future()
+        sim.call_after(1.0, lambda: future.resolve(7))
+        assert sim.run_until_resolved(future) == 7
+
+    def test_run_until_resolved_raises_when_queue_drains(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until_resolved(Future())

@@ -1,0 +1,87 @@
+"""Unit tests for the WAN latency model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.latency import REGIONS, LatencyModel, rtt_ms
+
+
+class TestRttMatrix:
+    def test_ten_regions(self):
+        assert len(REGIONS) == 10
+        assert REGIONS[0] == "virginia"
+        assert REGIONS[:3] == ("virginia", "oregon", "ireland")
+
+    def test_symmetry(self):
+        for a in REGIONS:
+            for b in REGIONS:
+                assert rtt_ms(a, b) == rtt_ms(b, a)
+
+    def test_same_region_is_lan(self):
+        assert rtt_ms("oregon", "oregon") < 1.0
+
+    def test_every_pair_defined(self):
+        for a in REGIONS:
+            for b in REGIONS:
+                assert rtt_ms(a, b) > 0
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            rtt_ms("virginia", "atlantis")
+
+    def test_triangle_plausibility(self):
+        # Nearby pairs are much cheaper than antipodal ones.
+        assert rtt_ms("virginia", "ohio") < rtt_ms("virginia", "sydney")
+        assert rtt_ms("ireland", "frankfurt") < rtt_ms("ireland", "sydney")
+
+
+class TestLatencyModel:
+    def test_paper_deployment_prefixes(self):
+        model = LatencyModel.for_paper_deployment(5)
+        assert model.regions == ("virginia", "oregon", "ireland", "mumbai", "sydney")
+        assert model.n_dcs == 5
+
+    def test_deployment_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyModel.for_paper_deployment(0)
+        with pytest.raises(ValueError):
+            LatencyModel.for_paper_deployment(11)
+
+    def test_one_way_is_half_rtt(self):
+        model = LatencyModel.for_paper_deployment(3)
+        assert model.base_one_way(0, 1) == pytest.approx(rtt_ms("virginia", "oregon") / 2000.0)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(["virginia", "narnia"])
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(["virginia"], jitter_fraction=-0.1)
+
+    def test_sample_without_jitter_is_base(self):
+        model = LatencyModel.for_paper_deployment(3, jitter_fraction=0.0)
+        rng = random.Random(1)
+        assert model.sample(rng, 0, 2) == model.base_one_way(0, 2)
+
+    def test_sample_jitter_bounds(self):
+        model = LatencyModel.for_paper_deployment(3, jitter_fraction=0.2)
+        rng = random.Random(1)
+        base = model.base_one_way(0, 1)
+        for _ in range(200):
+            sample = model.sample(rng, 0, 1)
+            assert base <= sample <= base * 1.2
+
+    def test_max_one_way(self):
+        model = LatencyModel.for_paper_deployment(10)
+        maximum = model.max_one_way()
+        assert maximum == pytest.approx(rtt_ms("sydney", "frankfurt") / 2000.0)
+
+    def test_deterministic_given_seeded_rng(self):
+        model = LatencyModel.for_paper_deployment(5, jitter_fraction=0.1)
+        a = [model.sample(random.Random(9), i % 5, (i + 1) % 5) for i in range(10)]
+        b = [model.sample(random.Random(9), i % 5, (i + 1) % 5) for i in range(10)]
+        assert a == b

@@ -1,0 +1,227 @@
+"""Unit tests for the network fabric: FIFO links, RPC, fault injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Envelope, Network, Node
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class Ping:
+    n: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    n: int
+
+
+@dataclass(frozen=True)
+class OneWay:
+    n: int
+
+
+class Echo(Node):
+    """Replies Pong(n) to Ping(n); collects one-way messages."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def handle_Ping(self, src, msg, reply):
+        reply(Pong(msg.n))
+
+    def handle_OneWay(self, src, msg, reply):
+        self.received.append((self.sim.now, msg.n))
+
+
+def make_net(n_dcs: int = 3, jitter: float = 0.0):
+    sim = Simulator()
+    latency = LatencyModel.for_paper_deployment(n_dcs, jitter_fraction=jitter)
+    network = Network(sim, latency, RngRegistry(1))
+    return sim, network
+
+
+class TestDelivery:
+    def test_one_way_delivery_with_latency(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        a.cast("b", OneWay(1))
+        sim.run()
+        assert len(b.received) == 1
+        at, n = b.received[0]
+        assert n == 1
+        assert at == pytest.approx(net.latency_model.base_one_way(0, 1))
+
+    def test_fifo_per_link_despite_jitter(self):
+        sim, net = make_net(jitter=0.5)
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        for i in range(50):
+            a.cast("b", OneWay(i))
+        sim.run()
+        assert [n for _, n in b.received] == list(range(50))
+
+    def test_intra_dc_latency_is_small(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 0)
+        a.cast("b", OneWay(1))
+        sim.run()
+        assert b.received[0][0] < 0.001
+
+    def test_unknown_destination_raises(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        with pytest.raises(KeyError):
+            a.cast("ghost", OneWay(1))
+
+    def test_duplicate_registration_rejected(self):
+        sim, net = make_net()
+        Echo(net, "a", 0)
+        with pytest.raises(ValueError):
+            Echo(net, "a", 1)
+
+    def test_dc_of(self):
+        _, net = make_net()
+        Echo(net, "a", 2)
+        assert net.dc_of("a") == 2
+
+    def test_metrics_count_messages(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        c = Echo(net, "c", 0)
+        a.cast("b", OneWay(1))  # inter-DC
+        a.cast("c", OneWay(2))  # intra-DC
+        sim.run()
+        assert net.metrics.messages_total == 2
+        assert net.metrics.messages_inter_dc == 1
+        assert net.metrics.by_type["OneWay"] == 2
+
+
+class TestRpc:
+    def test_request_response(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        Echo(net, "b", 1)
+        future = a.request("b", Ping(7))
+        sim.run()
+        assert future.value == Pong(7)
+
+    def test_concurrent_requests_correlate(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        Echo(net, "b", 1)
+        Echo(net, "c", 2)
+        f1 = a.request("b", Ping(1))
+        f2 = a.request("c", Ping(2))
+        f3 = a.request("b", Ping(3))
+        sim.run()
+        assert (f1.value, f2.value, f3.value) == (Pong(1), Pong(2), Pong(3))
+
+    def test_missing_handler_raises(self):
+        sim, net = make_net()
+
+        class Mute(Node):
+            pass
+
+        a = Echo(net, "a", 0)
+        Mute(net, "m", 1)
+        a.cast("m", OneWay(1))
+        with pytest.raises(NotImplementedError):
+            sim.run()
+
+    def test_deferred_reply(self):
+        """A handler may stash the reply callable and answer later."""
+        sim, net = make_net()
+
+        class Slow(Node):
+            def handle_Ping(self, src, msg, reply):
+                self.sim.call_after(5.0, lambda: reply(Pong(msg.n)))
+
+        a = Echo(net, "a", 0)
+        Slow(net, "s", 0)
+        future = a.request("s", Ping(9))
+        sim.run()
+        assert future.value == Pong(9)
+        assert sim.now > 5.0
+
+
+class TestPartitions:
+    def test_partition_holds_traffic(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        net.partition_dcs(0, 1)
+        a.cast("b", OneWay(1))
+        sim.run()
+        assert b.received == []
+
+    def test_heal_releases_in_order(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        net.partition_dcs(0, 1)
+        for i in range(10):
+            a.cast("b", OneWay(i))
+        sim.run()
+        net.heal(0, 1)
+        sim.run()
+        assert [n for _, n in b.received] == list(range(10))
+
+    def test_intra_dc_unaffected_by_partition(self):
+        sim, net = make_net()
+        a = Echo(net, "a", 0)
+        c = Echo(net, "c", 0)
+        net.partition_dcs(0, 1)
+        a.cast("c", OneWay(5))
+        sim.run()
+        assert len(c.received) == 1
+
+    def test_isolate_dc_cuts_everything(self):
+        sim, net = make_net(n_dcs=3)
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        c = Echo(net, "c", 2)
+        net.isolate_dc(0)
+        a.cast("b", OneWay(1))
+        a.cast("c", OneWay(2))
+        b.cast("c", OneWay(3))  # unaffected pair
+        sim.run()
+        assert b.received == []
+        assert [n for _, n in c.received] == [3]
+
+    def test_heal_all(self):
+        sim, net = make_net(n_dcs=3)
+        a = Echo(net, "a", 0)
+        b = Echo(net, "b", 1)
+        net.isolate_dc(0)
+        a.cast("b", OneWay(1))
+        net.heal()
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_cannot_partition_dc_from_itself(self):
+        _, net = make_net()
+        with pytest.raises(ValueError):
+            net.partition_dcs(1, 1)
+
+    def test_heal_requires_both_or_neither(self):
+        _, net = make_net()
+        with pytest.raises(ValueError):
+            net.heal(1, None)
+
+    def test_is_partitioned_is_symmetric(self):
+        _, net = make_net()
+        net.partition_dcs(0, 2)
+        assert net.is_partitioned(0, 2)
+        assert net.is_partitioned(2, 0)
+        assert not net.is_partitioned(0, 1)

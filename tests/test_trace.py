@@ -1,0 +1,108 @@
+"""Tests for structured tracing."""
+
+from __future__ import annotations
+
+from repro.sim.trace import GLOBAL_TRACER, TraceRecord, Tracer
+from tests.conftest import drive, run_for
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "commit", "s", tid=1)
+        assert tracer.records == []
+
+    def test_capture_scope(self):
+        tracer = Tracer()
+        with tracer.capture():
+            tracer.emit(1.0, "commit", "s", tid=1)
+        tracer.emit(2.0, "commit", "s", tid=2)  # outside the scope
+        assert len(tracer.records) == 1
+        assert tracer.records[0].get("tid") == 1
+
+    def test_category_filter(self):
+        tracer = Tracer()
+        with tracer.capture("apply"):
+            tracer.emit(1.0, "commit", "s")
+            tracer.emit(1.0, "apply", "s")
+        assert [r.category for r in tracer.records] == ["apply"]
+
+    def test_nested_capture_restores_state(self):
+        tracer = Tracer()
+        with tracer.capture("a"):
+            with tracer.capture("b"):
+                tracer.emit(0.0, "a", "s")
+                tracer.emit(0.0, "b", "s")
+            tracer.emit(0.0, "a", "s")
+        assert [r.category for r in tracer.records] == ["b", "a"]
+        assert not tracer.enabled
+
+    def test_limit_drops_excess(self):
+        tracer = Tracer(limit=2)
+        with tracer.capture():
+            for i in range(5):
+                tracer.emit(float(i), "x", "s")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_by_category_and_clear(self):
+        tracer = Tracer()
+        with tracer.capture():
+            tracer.emit(0.0, "a", "s")
+            tracer.emit(0.0, "b", "s")
+            tracer.emit(0.0, "a", "s")
+        groups = tracer.by_category()
+        assert len(groups["a"]) == 2
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_record_get_default(self):
+        record = TraceRecord(at=0.0, category="x", source="s", details=(("k", 1),))
+        assert record.get("k") == 1
+        assert record.get("missing", "d") == "d"
+
+
+class TestServerTracing:
+    def test_protocol_events_traced(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": "traced"})
+            yield client.commit()
+
+        with GLOBAL_TRACER.capture("commit", "apply", "ust"):
+            drive(tiny_cluster, tx())
+            run_for(tiny_cluster, 1.0)
+            groups = GLOBAL_TRACER.by_category()
+        GLOBAL_TRACER.clear()
+        assert groups.get("commit"), "commit decision not traced"
+        # Applied locally and at the peer replica.
+        assert len(groups.get("apply", [])) >= 2
+        assert groups.get("ust"), "UST advances not traced"
+
+    def test_bpr_block_events_traced(self, tiny_bpr_cluster):
+        client = tiny_bpr_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            yield client.read(["p0:k000000"])
+            client.finish()
+
+        with GLOBAL_TRACER.capture("block"):
+            drive(tiny_bpr_cluster, tx())
+            blocks = list(GLOBAL_TRACER.records)
+        GLOBAL_TRACER.clear()
+        assert blocks
+        assert blocks[0].get("keys") == 1
+
+    def test_tracing_off_has_no_records(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": "x"})
+            yield client.commit()
+
+        drive(tiny_cluster, tx())
+        assert GLOBAL_TRACER.records == []

@@ -1,0 +1,318 @@
+"""End-to-end transaction semantics on a PaRiS cluster (Algorithms 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import TransactionStateError
+from tests.conftest import drive, run_for
+
+
+class TestBasicLifecycle:
+    def test_start_assigns_snapshot_and_tid(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            handle = yield client.start_tx()
+            client.finish()
+            return handle
+
+        handle = drive(tiny_cluster, tx())
+        assert handle.snapshot > 0  # UST has converged during warmup
+        assert handle.tid[1] == tiny_cluster.server(0, 0).uid
+
+    def test_read_preloaded_keys(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            values = yield client.read(["p0:k000000", "p1:k000001", "p2:k000002"])
+            client.finish()
+            return values
+
+        values = drive(tiny_cluster, tx())
+        assert set(values) == {"p0:k000000", "p1:k000001", "p2:k000002"}
+        for result in values.values():
+            assert result.value == "init"
+            assert result.source == "store"
+
+    def test_commit_returns_timestamp_above_snapshot(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            handle = yield client.start_tx()
+            client.write({"p0:k000000": "x"})
+            commit_ts = yield client.commit()
+            return handle.snapshot, commit_ts
+
+        snapshot, commit_ts = drive(tiny_cluster, tx())
+        assert commit_ts > snapshot  # Lemma 1
+
+    def test_duplicate_keys_in_read_served_once(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            values = yield client.read(["p0:k000000", "p0:k000000"])
+            client.finish()
+            return values
+
+        values = drive(tiny_cluster, tx())
+        assert len(values) == 1
+
+    def test_empty_read_resolves_immediately(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            values = yield client.read([])
+            client.finish()
+            return values
+
+        assert drive(tiny_cluster, tx()) == {}
+
+    def test_transaction_counters(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": "x"})
+            yield client.commit()
+            yield client.start_tx()
+            client.finish()
+
+        drive(tiny_cluster, tx())
+        assert client.transactions_committed == 1
+        assert client.transactions_finished == 1
+
+
+class TestApiStateMachine:
+    def test_read_outside_transaction_rejected(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+        with pytest.raises(TransactionStateError):
+            client.read(["p0:k000000"])
+
+    def test_write_outside_transaction_rejected(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+        with pytest.raises(TransactionStateError):
+            client.write({"p0:k000000": 1})
+
+    def test_double_start_rejected(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.start_tx()
+
+        with pytest.raises(TransactionStateError):
+            drive(tiny_cluster, tx())
+
+    def test_commit_without_writes_rejected(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.commit()
+
+        with pytest.raises(TransactionStateError):
+            drive(tiny_cluster, tx())
+
+    def test_finish_with_writes_rejected(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": 1})
+            client.finish()
+
+        with pytest.raises(TransactionStateError):
+            drive(tiny_cluster, tx())
+
+    def test_abort_local_clears_state(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": 1})
+            client.abort_local()
+            assert not client.in_transaction
+            # A new transaction can start afterwards.
+            yield client.start_tx()
+            client.finish()
+
+        drive(tiny_cluster, tx())
+
+
+class TestSessionGuarantees:
+    def test_read_your_writes_within_transaction(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            client.write({"p0:k000000": "mine"})
+            values = yield client.read(["p0:k000000"])
+            client.abort_local()
+            return values
+
+        values = drive(tiny_cluster, tx())
+        assert values["p0:k000000"].value == "mine"
+        assert values["p0:k000000"].source == "ws"
+
+    def test_read_your_writes_across_transactions_via_cache(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def txs():
+            yield client.start_tx()
+            client.write({"p0:k000000": "mine"})
+            yield client.commit()
+            yield client.start_tx()
+            values = yield client.read(["p0:k000000"])
+            client.finish()
+            return values
+
+        values = drive(tiny_cluster, txs())
+        assert values["p0:k000000"].value == "mine"
+        assert values["p0:k000000"].source == "wc"  # snapshot is still stale
+
+    def test_repeatable_reads_from_read_set(self, tiny_cluster):
+        """A second read of the same key must hit RS, not the store."""
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            first = yield client.read(["p1:k000000"])
+            second = yield client.read(["p1:k000000"])
+            client.finish()
+            return first, second
+
+        first, second = drive(tiny_cluster, tx())
+        assert second["p1:k000000"].source == "rs"
+        assert first["p1:k000000"].value == second["p1:k000000"].value
+
+    def test_write_after_read_shadowed_by_ws(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def tx():
+            yield client.start_tx()
+            yield client.read(["p0:k000000"])
+            client.write({"p0:k000000": "updated"})
+            values = yield client.read(["p0:k000000"])
+            client.abort_local()
+            return values
+
+        values = drive(tiny_cluster, tx())
+        assert values["p0:k000000"].value == "updated"
+        assert values["p0:k000000"].source == "ws"
+
+    def test_snapshots_monotonic_per_client(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def txs():
+            snapshots = []
+            for _ in range(5):
+                handle = yield client.start_tx()
+                snapshots.append(handle.snapshot)
+                client.finish()
+                yield 0.05
+            return snapshots
+
+        snapshots = drive(tiny_cluster, txs())
+        assert snapshots == sorted(snapshots)
+
+    def test_cache_drains_once_ust_covers_commit(self, tiny_cluster):
+        client = tiny_cluster.new_client(0, 0)
+
+        def txs():
+            yield client.start_tx()
+            client.write({"p0:k000000": "mine"})
+            yield client.commit()
+            assert len(client.cache) == 1
+            yield 1.0  # let replication + UST cover the commit
+            yield client.start_tx()
+            values = yield client.read(["p0:k000000"])
+            client.finish()
+            return values
+
+        values = drive(tiny_cluster, txs())
+        assert len(client.cache) == 0
+        assert values["p0:k000000"].value == "mine"
+        assert values["p0:k000000"].source == "store"
+
+
+class TestVisibilityAndAtomicity:
+    def test_update_becomes_visible_to_other_clients_everywhere(self, tiny_cluster):
+        writer = tiny_cluster.new_client(0, 0)
+
+        def write_tx():
+            yield writer.start_tx()
+            writer.write({"p0:k000000": "published"})
+            yield writer.commit()
+
+        drive(tiny_cluster, write_tx())
+        run_for(tiny_cluster, 1.0)
+
+        # Readers in every DC (p0 is replicated at DCs 0 and 1; DC 2 reads
+        # remotely through its preferred replica).
+        for dc in range(tiny_cluster.spec.n_dcs):
+            coordinator = tiny_cluster.spec.dc_partitions(dc)[0]
+            reader = tiny_cluster.new_client(dc, coordinator)
+
+            def read_tx(reader=reader):
+                yield reader.start_tx()
+                values = yield reader.read(["p0:k000000"])
+                reader.finish()
+                return values
+
+            values = drive(tiny_cluster, read_tx())
+            assert values["p0:k000000"].value == "published", f"DC {dc}"
+
+    def test_multi_partition_commit_is_atomic(self, tiny_cluster):
+        """Concurrent readers never see one of the two writes without the other."""
+        writer = tiny_cluster.new_client(0, 0)
+        reader = tiny_cluster.new_client(1, 1)
+        keys = ["p0:k000001", "p1:k000001"]
+        observations = []
+
+        def write_tx():
+            yield writer.start_tx()
+            writer.write({keys[0]: "both", keys[1]: "both"})
+            yield writer.commit()
+
+        def read_loop():
+            for _ in range(40):
+                yield reader.start_tx()
+                values = yield reader.read(keys)
+                reader.finish()
+                observations.append(tuple(values[k].value for k in keys))
+                yield 0.02
+
+        tiny_cluster.sim.spawn(write_tx())
+        process = tiny_cluster.sim.spawn(read_loop())
+        run_for(tiny_cluster, 5.0)
+        assert process.done
+        for a, b in observations:
+            assert a == b, f"fractured read: {a!r} vs {b!r}"
+        assert ("both", "both") in observations  # eventually visible
+
+    def test_last_writer_wins_convergence(self, tiny_cluster):
+        """Two clients in different DCs write the same key; all replicas converge."""
+        a = tiny_cluster.new_client(0, 0)
+        b = tiny_cluster.new_client(1, 1)
+
+        def write(client, value):
+            yield client.start_tx()
+            client.write({"p0:k000002": value})
+            yield client.commit()
+
+        tiny_cluster.sim.spawn(write(a, "from-a"))
+        tiny_cluster.sim.spawn(write(b, "from-b"))
+        run_for(tiny_cluster, 2.0)
+
+        replicas = [
+            tiny_cluster.server(dc, 0).store.read_latest("p0:k000002")
+            for dc in tiny_cluster.spec.replica_dcs(0)
+        ]
+        values = {r.value for r in replicas}
+        order_keys = {r.order_key() for r in replicas}
+        assert len(values) == 1
+        assert len(order_keys) == 1

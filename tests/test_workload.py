@@ -1,0 +1,180 @@
+"""Unit + statistical tests for the workload substrate."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.config import WorkloadConfig
+from repro.workload.generator import WorkloadGenerator, dataset_keys, key_name
+from repro.workload.zipfian import UniformGenerator, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(100, theta=0.99)
+        rng = random.Random(1)
+        for _ in range(5000):
+            assert 0 <= gen.sample(rng) < 100
+
+    def test_skew_favours_low_ranks(self):
+        gen = ZipfianGenerator(100, theta=0.99)
+        rng = random.Random(2)
+        counts = Counter(gen.sample(rng) for _ in range(20000))
+        assert counts[0] > counts.get(50, 0) * 5
+        # Top 10 ranks take well over half the mass at theta=0.99.
+        top = sum(counts[i] for i in range(10))
+        assert top / 20000 > 0.5
+
+    def test_relative_frequencies_follow_power_law(self):
+        gen = ZipfianGenerator(1000, theta=0.99)
+        rng = random.Random(3)
+        counts = Counter(gen.sample(rng) for _ in range(50000))
+        # P(0)/P(9) should be about (10/1)^0.99 ~ 9.8; allow slack.
+        ratio = counts[0] / max(counts[9], 1)
+        assert 4.0 < ratio < 25.0
+
+    def test_single_item(self):
+        gen = ZipfianGenerator(1)
+        rng = random.Random(4)
+        assert gen.sample(rng) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    def test_deterministic_for_seed(self):
+        gen = ZipfianGenerator(50)
+        a = [gen.sample(random.Random(7)) for _ in range(5)]
+        b = [gen.sample(random.Random(7)) for _ in range(5)]
+        assert a == b
+
+
+class TestUniform:
+    def test_covers_range_roughly_evenly(self):
+        gen = UniformGenerator(10)
+        rng = random.Random(5)
+        counts = Counter(gen.sample(rng) for _ in range(10000))
+        assert set(counts) == set(range(10))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+def make_generator(locality=0.95, reads=4, writes=2, partitions_per_tx=2, seed=1):
+    spec = ClusterSpec.from_machines(3, 2, 2)  # 3 partitions
+    workload = WorkloadConfig(
+        reads_per_tx=reads,
+        writes_per_tx=writes,
+        partitions_per_tx=partitions_per_tx,
+        locality=locality,
+        keys_per_partition=50,
+    )
+    return spec, WorkloadGenerator(spec, workload, dc_id=0, rng=random.Random(seed))
+
+
+class TestWorkloadGenerator:
+    def test_operation_counts(self):
+        _, gen = make_generator(reads=5, writes=3)
+        tx = gen.next_transaction()
+        assert len(tx.reads) == 5
+        assert 1 <= len(tx.writes) <= 3  # dict-deduplication may merge keys
+
+    def test_keys_route_to_chosen_partitions(self):
+        spec, gen = make_generator()
+        for _ in range(100):
+            tx = gen.next_transaction()
+            for key in tx.reads:
+                assert spec.key_to_partition(key) in tx.partitions
+            for key, _ in tx.writes:
+                assert spec.key_to_partition(key) in tx.partitions
+
+    def test_local_transactions_use_local_partitions(self):
+        spec, gen = make_generator(locality=1.0)
+        local = set(spec.dc_partitions(0))
+        for _ in range(200):
+            tx = gen.next_transaction()
+            assert tx.is_local
+            assert set(tx.partitions) <= local
+
+    def test_zero_locality_eventually_remote(self):
+        spec, gen = make_generator(locality=0.0)
+        local = set(spec.dc_partitions(0))
+        saw_remote = False
+        for _ in range(200):
+            tx = gen.next_transaction()
+            assert not tx.is_local
+            if not set(tx.partitions) <= local:
+                saw_remote = True
+        assert saw_remote
+
+    def test_locality_ratio_roughly_respected(self):
+        _, gen = make_generator(locality=0.8)
+        locals_ = sum(gen.next_transaction().is_local for _ in range(2000))
+        assert 0.75 < locals_ / 2000 < 0.85
+
+    def test_partitions_are_distinct(self):
+        _, gen = make_generator(partitions_per_tx=2)
+        for _ in range(100):
+            tx = gen.next_transaction()
+            assert len(set(tx.partitions)) == len(tx.partitions)
+
+    def test_partitions_per_tx_capped_by_pool(self):
+        spec, gen = make_generator(locality=1.0, partitions_per_tx=10)
+        tx = gen.next_transaction()
+        assert len(tx.partitions) == len(spec.dc_partitions(0))
+
+    def test_write_values_carry_payload(self):
+        _, gen = make_generator()
+        tx = gen.next_transaction()
+        for _, value in tx.writes:
+            assert value.startswith("v" * 8)
+
+    def test_deterministic_for_seed(self):
+        _, gen_a = make_generator(seed=42)
+        _, gen_b = make_generator(seed=42)
+        for _ in range(20):
+            assert gen_a.next_transaction() == gen_b.next_transaction()
+
+    def test_different_seeds_differ(self):
+        _, gen_a = make_generator(seed=1)
+        _, gen_b = make_generator(seed=2)
+        txs_a = [gen_a.next_transaction() for _ in range(10)]
+        txs_b = [gen_b.next_transaction() for _ in range(10)]
+        assert txs_a != txs_b
+
+
+class TestKeyNaming:
+    def test_key_name_layout(self):
+        assert key_name(3, 7) == "p3:k000007"
+
+    def test_dataset_keys_cover_partition(self):
+        spec = ClusterSpec.from_machines(3, 2, 2)
+        workload = WorkloadConfig(keys_per_partition=5)
+        keys = dataset_keys(spec, workload, 1)
+        assert len(keys) == 5
+        assert all(spec.key_to_partition(k) == 1 for k in keys)
+
+    def test_generated_keys_are_preloaded_keys(self):
+        """Every key a generator can draw exists in the preloaded dataset."""
+        spec, gen = make_generator()
+        workload = gen.workload
+        preloaded = {
+            key
+            for p in range(spec.n_partitions)
+            for key in dataset_keys(spec, workload, p)
+        }
+        for _ in range(300):
+            tx = gen.next_transaction()
+            for key in tx.reads:
+                assert key in preloaded
+            for key, _ in tx.writes:
+                assert key in preloaded
