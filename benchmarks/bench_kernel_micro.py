@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Microbenchmarks of the simulator hot path, with JSON perf baselines.
+
+Four metrics cover the layers every figure bench stands on:
+
+* ``event_dispatch``     — kernel schedule/fire throughput (events/s);
+* ``message_round_trip`` — same-DC RPC ping-pong through the fabric
+  (round trips/s), the client/coordinator/cohort hot path of PaRiS;
+* ``replicate_batch_apply`` — building ``ReplicateMsg`` batches and applying
+  their writes to the multi-version store in commit-ts order (writes/s);
+* ``ust_round``          — events/s of an idle small cluster, dominated by
+  the stabilization plane (heartbeats, tree aggregation, UST broadcast).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_micro.py \
+        [--scale smoke|full] [--repeats N] [--out BENCH_kernel.json]
+
+Results go to ``--out`` (default: print only).  Refresh the committed
+baseline with ``--scale full --out BENCH_kernel.json`` on an idle machine;
+gate a run against it with ``PYTHONPATH=src python -m repro.bench.perfgate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import build_cluster, small_test_config  # noqa: E402
+from repro.core.messages import ReplicatedTx, ReplicateMsg  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+from repro.sim.latency import LatencyModel  # noqa: E402
+from repro.sim.network import Network, Node  # noqa: E402
+from repro.sim.rng import RngRegistry  # noqa: E402
+from repro.storage.mvstore import MultiVersionStore  # noqa: E402
+
+#: Per-metric operation counts by scale.  ``smoke`` keeps the CI job under a
+#: few seconds; ``full`` is what BENCH_kernel.json baselines are recorded at.
+SCALES: Dict[str, Dict[str, int]] = {
+    "smoke": {
+        "event_dispatch": 20_000,
+        "message_round_trip": 2_000,
+        "replicate_batch_apply": 20_000,
+        "ust_round_ms": 200,
+    },
+    "full": {
+        "event_dispatch": 400_000,
+        "message_round_trip": 40_000,
+        "replicate_batch_apply": 400_000,
+        "ust_round_ms": 4_000,
+    },
+}
+
+
+def bench_event_dispatch(n: int) -> Tuple[int, float]:
+    """Schedule-and-fire cost: half pre-seeded timers, half a live chain."""
+    sim = Simulator()
+    # post_after is the no-handle fast path; fall back to call_after so the
+    # suite also runs against pre-overhaul kernels for A/B comparisons.
+    schedule = getattr(sim, "post_after", sim.call_after)
+    half = n // 2
+    for i in range(half):
+        schedule(0.001 + (i % 97) * 1e-5, _noop)
+    remaining = [n - half]
+
+    def chain() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            schedule(0.0005, chain)
+
+    schedule(0.0005, chain)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    assert sim.events_executed >= n
+    return sim.events_executed, elapsed
+
+
+class _Pinger(Node):
+    """Drives ``rounds`` sequential RPC round trips against an echo peer."""
+
+    def run(self, dst: str, rounds: int):
+        for i in range(rounds):
+            yield self.request(dst, ("ping", i))
+
+
+class _EchoServer(Node):
+    def handle_tuple(self, src, msg, reply) -> None:
+        reply(msg)
+
+
+def bench_message_round_trip(rounds: int) -> Tuple[int, float]:
+    """Same-DC RPC ping-pong (request + reply = 2 fabric messages)."""
+    sim = Simulator()
+    network = Network(sim, LatencyModel.for_paper_deployment(3), RngRegistry(1))
+    pinger = _Pinger(network, "pinger", 0)
+    _EchoServer(network, "echo", 0)
+    process = sim.spawn(pinger.run("echo", rounds))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    assert process.done
+    return rounds, elapsed
+
+
+def bench_replicate_batch_apply(n_writes: int, batch: int = 64) -> Tuple[int, float]:
+    """Build replicate batches and apply their writes in commit-ts order."""
+    store = MultiVersionStore()
+    keys = [f"p0:k{i}" for i in range(512)]
+    for key in keys:
+        store.preload(key, "init")
+    n_batches = n_writes // batch
+    started = time.perf_counter()
+    ts = 0
+    applied = 0
+    for b in range(n_batches):
+        groups = []
+        for g in range(batch):
+            ts += 1
+            key = keys[(b * batch + g) % len(keys)]
+            groups.append(
+                ReplicatedTx(
+                    tid=(ts, 7),
+                    commit_ts=ts,
+                    writes=((key, f"v{ts}"),),
+                    source_dc=0,
+                    decided_at=0.0,
+                )
+            )
+        message = ReplicateMsg(groups=tuple(groups), watermark=ts)
+        for group in message.groups:
+            for key, value in group.writes:
+                store.apply(key, value, ut=group.commit_ts, tid=group.tid, sr=group.source_dc)
+                applied += 1
+    elapsed = time.perf_counter() - started
+    assert store.writes_applied == applied
+    return applied, elapsed
+
+
+def bench_ust_round(sim_ms: int) -> Tuple[int, float]:
+    """Run an idle cluster: stabilization + heartbeat traffic only."""
+    config = small_test_config(n_dcs=3, machines_per_dc=2, keys_per_partition=10)
+    cluster = build_cluster(config, protocol="paris")
+    started = time.perf_counter()
+    cluster.sim.run(until=sim_ms / 1000.0)
+    elapsed = time.perf_counter() - started
+    return cluster.sim.events_executed, elapsed
+
+
+def _noop() -> None:
+    return None
+
+
+def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
+    params = SCALES[scale]
+    suite: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
+        "event_dispatch": (
+            lambda: bench_event_dispatch(params["event_dispatch"]),
+            "events/s",
+        ),
+        "message_round_trip": (
+            lambda: bench_message_round_trip(params["message_round_trip"]),
+            "roundtrips/s",
+        ),
+        "replicate_batch_apply": (
+            lambda: bench_replicate_batch_apply(params["replicate_batch_apply"]),
+            "writes/s",
+        ),
+        "ust_round": (
+            lambda: bench_ust_round(params["ust_round_ms"]),
+            "events/s",
+        ),
+    }
+    metrics: Dict[str, Dict[str, float]] = {}
+    for name, (fn, unit) in suite.items():
+        best_rate = 0.0
+        ops = 0
+        seconds = 0.0
+        for _ in range(repeats):
+            count, elapsed = fn()
+            rate = count / elapsed if elapsed > 0 else float("inf")
+            if rate > best_rate:
+                best_rate, ops, seconds = rate, count, elapsed
+        metrics[name] = {
+            "rate": round(best_rate, 1),
+            "unit": unit,
+            "ops": ops,
+            "seconds": round(seconds, 6),
+        }
+        print(f"{name:<24} {best_rate:>14.1f} {unit}  ({ops} ops, best of {repeats})")
+    return metrics
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="full")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+    metrics = run_suite(args.scale, max(1, args.repeats))
+    document = {
+        "suite": "kernel_micro",
+        "schema": 1,
+        "scale": args.scale,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "metrics": metrics,
+    }
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

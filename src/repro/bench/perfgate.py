@@ -1,0 +1,213 @@
+"""Performance gate: compare microbenchmark results against a baseline.
+
+The microbenchmark suites (``benchmarks/bench_kernel_micro.py``) write JSON
+documents of the form::
+
+    {
+      "suite": "kernel_micro",
+      "schema": 1,
+      "metrics": {
+        "event_dispatch": {"rate": 1234567.0, "unit": "events/s", ...},
+        ...
+      }
+    }
+
+Every metric is a *rate* — higher is better.  The gate compares a current
+result document against a committed baseline (``BENCH_kernel.json``) and
+fails when any shared metric's rate drops below ``baseline * (1 -
+tolerance)``.  Metrics present only in the current run are reported as new
+(they pass: a fresh benchmark must not break the gate that predates it);
+metrics that disappeared fail the gate so coverage cannot silently shrink.
+
+When the baseline file does not exist yet the gate *bootstraps*: the current
+results are written as the new baseline and the gate passes.  This is how a
+fresh checkout (or a brand-new suite) seeds ``BENCH_kernel.json``.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.bench.perfgate CURRENT.json \
+        --baseline BENCH_kernel.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+#: Default allowed fractional slowdown before the gate fails.
+DEFAULT_TOLERANCE = 0.25
+
+
+class PerfGateError(ValueError):
+    """Raised for malformed result documents or invalid tolerances."""
+
+
+@dataclass(frozen=True, slots=True)
+class MetricComparison:
+    """The verdict for one metric shared by baseline and current results."""
+
+    name: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (> 1.0 means faster than the baseline)."""
+        if self.baseline == 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        """Whether the drop exceeds the allowed tolerance."""
+        return self.current < self.baseline * (1.0 - self.tolerance)
+
+
+@dataclass(slots=True)
+class GateReport:
+    """Outcome of one gate evaluation."""
+
+    comparisons: List[MetricComparison] = field(default_factory=list)
+    new_metrics: List[str] = field(default_factory=list)
+    missing_metrics: List[str] = field(default_factory=list)
+    bootstrapped: bool = False
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        """The comparisons that failed."""
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def passed(self) -> bool:
+        """True when no metric regressed and none went missing."""
+        return not self.regressions and not self.missing_metrics
+
+    def render(self) -> str:
+        """Human-readable table of the verdicts."""
+        lines = ["perf gate" + (" (baseline bootstrapped)" if self.bootstrapped else "")]
+        for c in sorted(self.comparisons, key=lambda c: c.name):
+            status = "FAIL" if c.regressed else "ok"
+            lines.append(
+                f"  {status:<4} {c.name:<24} baseline {c.baseline:>14.1f}"
+                f"  current {c.current:>14.1f}  ratio {c.ratio:5.2f}x"
+                f"  (tolerance -{c.tolerance:.0%})"
+            )
+        for name in self.new_metrics:
+            lines.append(f"  new  {name:<24} (no baseline yet)")
+        for name in self.missing_metrics:
+            lines.append(f"  FAIL {name:<24} missing from current results")
+        lines.append("  => " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _metric_rates(document: Mapping[str, Any], label: str) -> Dict[str, float]:
+    metrics = document.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise PerfGateError(f"{label}: no 'metrics' mapping in result document")
+    rates: Dict[str, float] = {}
+    for name, entry in metrics.items():
+        if isinstance(entry, Mapping):
+            rate = entry.get("rate")
+        else:
+            rate = entry
+        if not isinstance(rate, (int, float)):
+            raise PerfGateError(f"{label}: metric {name!r} has no numeric rate")
+        rates[name] = float(rate)
+    return rates
+
+
+def compare(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateReport:
+    """Gate ``current`` against ``baseline``; both are result documents."""
+    if not 0.0 <= tolerance < 1.0:
+        raise PerfGateError(f"tolerance must be in [0, 1): {tolerance}")
+    baseline_rates = _metric_rates(baseline, "baseline")
+    current_rates = _metric_rates(current, "current")
+    report = GateReport()
+    for name, base_rate in baseline_rates.items():
+        if name not in current_rates:
+            report.missing_metrics.append(name)
+            continue
+        report.comparisons.append(
+            MetricComparison(
+                name=name,
+                baseline=base_rate,
+                current=current_rates[name],
+                tolerance=tolerance,
+            )
+        )
+    report.new_metrics = sorted(set(current_rates) - set(baseline_rates))
+    return report
+
+
+def run_gate(
+    current_path: Union[str, pathlib.Path],
+    baseline_path: Union[str, pathlib.Path],
+    tolerance: float = DEFAULT_TOLERANCE,
+    bootstrap: bool = True,
+) -> GateReport:
+    """File-level gate: load both documents and compare.
+
+    A missing baseline bootstraps (current results become the baseline)
+    unless ``bootstrap`` is False, in which case it is an error.
+    """
+    current_path = pathlib.Path(current_path)
+    baseline_path = pathlib.Path(baseline_path)
+    current = json.loads(current_path.read_text())
+    _metric_rates(current, "current")  # validate before any write
+    if not baseline_path.exists():
+        if not bootstrap:
+            raise PerfGateError(f"baseline not found: {baseline_path}")
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        report = GateReport(bootstrapped=True)
+        report.new_metrics = sorted(_metric_rates(current, "current"))
+        return report
+    baseline = json.loads(baseline_path.read_text())
+    return compare(baseline, current, tolerance=tolerance)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("current", help="JSON results of the run under test")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_kernel.json",
+        help="committed baseline JSON (bootstrapped from current if absent)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional rate drop before failing (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-bootstrap",
+        action="store_true",
+        help="treat a missing baseline as an error instead of seeding it",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = run_gate(
+            args.current,
+            args.baseline,
+            tolerance=args.tolerance,
+            bootstrap=not args.no_bootstrap,
+        )
+    except (PerfGateError, OSError, json.JSONDecodeError) as exc:
+        print(f"perf gate error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

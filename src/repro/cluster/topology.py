@@ -18,19 +18,36 @@ balance load.
 
 from __future__ import annotations
 
+import sys
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+# Address memo tables.  Servers and clients resolve peer addresses on every
+# routed request, and those strings key the network's endpoint and link-clock
+# dicts — interning them makes each lookup hash a precomputed value and hit
+# the identity fast path of dict key comparison, instead of re-formatting and
+# re-hashing a fresh string per send.
+_SERVER_ADDRESSES: Dict[Tuple[int, int], str] = {}
+_CLIENT_ADDRESSES: Dict[Tuple[int, int, int], str] = {}
+
 
 def server_address(dc_id: int, partition: int) -> str:
-    """Canonical network address of the server for ``partition`` in a DC."""
-    return f"server/d{dc_id}/p{partition}"
+    """Canonical (interned, memoized) address of a partition's server in a DC."""
+    address = _SERVER_ADDRESSES.get((dc_id, partition))
+    if address is None:
+        address = sys.intern(f"server/d{dc_id}/p{partition}")
+        _SERVER_ADDRESSES[(dc_id, partition)] = address
+    return address
 
 
 def client_address(dc_id: int, partition: int, index: int = 0) -> str:
-    """Canonical network address of a client process co-located with a server."""
-    return f"client/d{dc_id}/p{partition}/c{index}"
+    """Canonical (interned, memoized) address of a co-located client process."""
+    address = _CLIENT_ADDRESSES.get((dc_id, partition, index))
+    if address is None:
+        address = sys.intern(f"client/d{dc_id}/p{partition}/c{index}")
+        _CLIENT_ADDRESSES[(dc_id, partition, index)] = address
+    return address
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,11 @@
 """Protocol messages of PaRiS (Algorithms 1-4) and its stabilization plane.
 
-All messages are plain frozen dataclasses delivered through the simulated
-FIFO fabric.  Collections are tuples so that a message cannot be mutated
-after it is "serialized" (sent).
+All messages are frozen ``__slots__`` dataclasses delivered through the
+simulated FIFO fabric.  Collections are tuples so that a message cannot be
+mutated after it is "serialized" (sent).  Slots matter: the fabric allocates
+one message object per protocol step, so the per-instance ``__dict__`` of a
+slotless dataclass is pure hot-path overhead (``tests/test_messages_slots.py``
+guards the invariant).
 """
 
 from __future__ import annotations
@@ -19,14 +22,14 @@ WritePairs = Tuple[Tuple[str, Any], ...]
 # ----------------------------------------------------------------------
 # Client <-> coordinator (Algorithm 1 / Algorithm 2)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartTxReq:
     """START-TX: carries the client's highest observed stable snapshot."""
 
     client_snapshot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartTxResp:
     """Transaction id and the snapshot assigned by the coordinator."""
 
@@ -34,7 +37,7 @@ class StartTxResp:
     snapshot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReq:
     """READ: keys the client could not serve from WS/RS/WC."""
 
@@ -42,14 +45,14 @@ class ReadReq:
     keys: Tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResp:
     """Versions returned for a parallel read, keyed by key."""
 
     versions: Tuple[Tuple[str, Version], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitReq:
     """COMMIT-TX: the buffered write set plus the client's last commit time."""
 
@@ -58,7 +61,7 @@ class CommitReq:
     writes: WritePairs
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitResp:
     """The transaction's commit timestamp."""
 
@@ -66,7 +69,7 @@ class CommitResp:
     commit_ts: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FinishTxMsg:
     """One-way notice that a read-only transaction is complete.
 
@@ -79,7 +82,7 @@ class FinishTxMsg:
     tid: TransactionId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OneShotReadReq:
     """One-round read-only transaction (start + read + finish in one RPC).
 
@@ -92,7 +95,7 @@ class OneShotReadReq:
     keys: Tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OneShotReadResp:
     """Snapshot used and the versions read."""
 
@@ -103,7 +106,7 @@ class OneShotReadResp:
 # ----------------------------------------------------------------------
 # Coordinator <-> cohort (Algorithm 2 / Algorithm 3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadSliceReq:
     """Per-partition slice of a parallel read at a given snapshot."""
 
@@ -111,14 +114,14 @@ class ReadSliceReq:
     snapshot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadSliceResp:
     """Freshest visible version per requested key."""
 
     versions: Tuple[Tuple[str, Version], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareReq:
     """2PC phase one for one partition's slice of the write set."""
 
@@ -128,7 +131,7 @@ class PrepareReq:
     writes: WritePairs
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareResp:
     """The partition's proposed commit timestamp."""
 
@@ -136,7 +139,7 @@ class PrepareResp:
     proposed_ts: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitTxMsg:
     """2PC phase two: the decided commit timestamp (one-way)."""
 
@@ -149,7 +152,7 @@ class CommitTxMsg:
 # ----------------------------------------------------------------------
 # Replication between replicas of one partition (Algorithm 4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicatedTx:
     """One applied transaction group being shipped to peer replicas."""
 
@@ -160,7 +163,7 @@ class ReplicatedTx:
     decided_at: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicateMsg:
     """A batch of transaction groups in increasing commit-ts order.
 
@@ -173,7 +176,7 @@ class ReplicateMsg:
     watermark: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatMsg:
     """Idle-period version-clock announcement (Algorithm 4 line 21)."""
 
@@ -183,7 +186,7 @@ class HeartbeatMsg:
 # ----------------------------------------------------------------------
 # Stabilization plane (Section IV-B "Stabilization protocol" + GC)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AggUpMsg:
     """Child -> parent in the intra-DC tree: aggregated minima.
 
@@ -197,7 +200,7 @@ class AggUpMsg:
     oldest_active: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DcGstMsg:
     """Root -> remote roots: this DC's GST and oldest active snapshot."""
 
@@ -206,7 +209,7 @@ class DcGstMsg:
     oldest_active: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UstBroadcastMsg:
     """Root -> subtree: the new universal stable time and GC bound."""
 

@@ -17,6 +17,8 @@ from .kernel import Simulator
 class Cpu:
     """A ``cores``-way FIFO processor attached to one simulated server."""
 
+    __slots__ = ("_sim", "cores", "_free_at", "_queue", "_running", "busy_time", "jobs_done")
+
     def __init__(self, sim: Simulator, cores: int = 4) -> None:
         if cores < 1:
             raise ValueError("cores must be >= 1")
@@ -53,7 +55,7 @@ class Cpu:
             self._free_at[core] = finish
             self._running += 1
             self.busy_time += cost
-            self._sim.call_at(finish, lambda job=job: self._complete(job))
+            self._sim.post_at(finish, lambda job=job: self._complete(job))
 
     def _complete(self, job: Callable[[], None]) -> None:
         self._running -= 1

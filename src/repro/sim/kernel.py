@@ -4,7 +4,10 @@ The kernel owns a priority queue of timestamped events.  Two styles of code
 run on top of it:
 
 * **Event-driven handlers** — plain callables scheduled with
-  :meth:`Simulator.call_at` / :meth:`Simulator.call_after`.
+  :meth:`Simulator.call_at` / :meth:`Simulator.call_after` (cancellable, an
+  :class:`Event` handle is returned) or with the allocation-free
+  :meth:`Simulator.post_at` / :meth:`Simulator.post_after` fast path when no
+  handle is needed.
 * **Processes** — generator coroutines spawned with :meth:`Simulator.spawn`.
   A process may ``yield``:
 
@@ -16,17 +19,30 @@ run on top of it:
 Determinism: events at equal times fire in scheduling order (a monotonically
 increasing sequence number breaks ties), and all randomness in the wider
 simulator flows through named :mod:`repro.sim.rng` streams.
+
+Hot-path design: the heap holds plain ``[time, seq, callback]`` list entries
+so heap sift comparisons stay in C (the unique ``seq`` guarantees the
+callback element is never compared), and fired entries are recycled through a
+bounded free-list instead of being reallocated per event.  Cancellation nulls
+the callback slot in place; :meth:`step` discards such entries when they
+surface at the heap top.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterator, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, List, Optional
 
 from .future import Future
 
 ProcessGenerator = Generator[Any, Any, Any]
+
+#: Heap entry layout: ``[time, seq, callback]``.  ``callback is None`` marks
+#: a cancelled (or already fired) entry awaiting lazy removal.
+_TIME, _SEQ, _CALLBACK = 0, 1, 2
+
+#: Upper bound on recycled entries kept around after a scheduling burst.
+_FREE_LIST_LIMIT = 4096
 
 
 class SimulationError(RuntimeError):
@@ -34,22 +50,32 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.  Cancellation is O(1) (lazy removal)."""
+    """A cancellable handle to one scheduled callback.
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    The handle caches ``time`` and ``seq`` at scheduling time; the underlying
+    heap entry may be recycled for a later event once this one has fired, so
+    :meth:`cancel` validates the entry's sequence number before nulling the
+    callback (cancelling after the event fired is a no-op).
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
+    __slots__ = ("time", "seq", "_entry")
+
+    def __init__(self, entry: List[Any]) -> None:
+        self.time: float = entry[_TIME]
+        self.seq: int = entry[_SEQ]
+        self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event fires."""
-        self.cancelled = True
+        entry = self._entry
+        if entry[_SEQ] == self.seq:
+            entry[_CALLBACK] = None
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    @property
+    def cancelled(self) -> bool:
+        """Whether this event was cancelled (or has already fired)."""
+        entry = self._entry
+        return entry[_SEQ] != self.seq or entry[_CALLBACK] is None
 
 
 class Process:
@@ -93,7 +119,7 @@ class Process:
             if yielded < 0:
                 self._step(throw_exc=SimulationError(f"negative sleep: {yielded}"))
                 return
-            self._sim.call_after(yielded, lambda: self._step(None))
+            self._sim.post_after(yielded, lambda: self._step(None))
         elif isinstance(yielded, (list, tuple)):
             from .future import all_of
 
@@ -113,12 +139,15 @@ class Process:
 class Simulator:
     """The event loop.  Time is a float in seconds, starting at 0."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_processes", "_event_count", "_free")
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
-        self._sequence: Iterator[int] = itertools.count()
+        self._queue: List[List[Any]] = []
+        self._seq = 0
         self._processes: List[Process] = []
         self._event_count = 0
+        self._free: List[List[Any]] = []
 
     @property
     def now(self) -> float:
@@ -133,24 +162,51 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _push(self, time: float, callback: Callable[[], None]) -> List[Any]:
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[_TIME] = time
+            entry[_SEQ] = seq
+            entry[_CALLBACK] = callback
+        else:
+            entry = [time, seq, callback]
+        heappush(self._queue, entry)
+        return entry
+
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute sim time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule into the past: {time} < {self._now}")
-        event = Event(time, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return event
+        return Event(self._push(time, callback))
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        return Event(self._push(self._now + delay, callback))
+
+    def post_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Like :meth:`call_at` but returns no handle (not cancellable).
+
+        This is the hot path used by the network fabric and CPU model: it
+        skips the :class:`Event` wrapper allocation entirely.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot schedule into the past: {time} < {self._now}")
+        self._push(time, callback)
+
+    def post_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Like :meth:`call_after` but returns no handle (not cancellable)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._push(self._now + delay, callback)
 
     def timeout(self, delay: float, value: Any = None) -> Future:
         """A future that resolves to ``value`` after ``delay`` seconds."""
         future = Future()
-        self.call_after(delay, lambda: future.resolve(value))
+        self.post_after(delay, lambda: future.resolve(value))
         return future
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -182,9 +238,9 @@ class Simulator:
                 return
             callback()
             delay = period + (jitter() if jitter is not None else 0.0)
-            self.call_after(max(delay, 0.0), tick)
+            self.post_after(max(delay, 0.0), tick)
 
-        self.call_after(phase + period, tick)
+        self.post_after(phase + period, tick)
 
         def cancel() -> None:
             cancelled[0] = True
@@ -194,15 +250,25 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _recycle(self, entry: List[Any]) -> None:
+        entry[_CALLBACK] = None
+        free = self._free
+        if len(free) < _FREE_LIST_LIMIT:
+            free.append(entry)
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                self._recycle(entry)
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
             self._event_count += 1
-            event.callback()
+            self._recycle(entry)
+            callback()
             return True
         return False
 
@@ -212,12 +278,13 @@ class Simulator:
             while self.step():
                 pass
             return
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[_CALLBACK] is None:
+                self._recycle(heappop(queue))
                 continue
-            if head.time > until:
+            if head[_TIME] > until:
                 break
             self.step()
         self._now = max(self._now, until)
@@ -225,7 +292,7 @@ class Simulator:
     def run_until_resolved(self, future: Future, limit: float = float("inf")) -> Any:
         """Run until ``future`` resolves; raise if the queue drains first."""
         while not future.done:
-            if self._queue and self._queue[0].time > limit:
+            if self._queue and self._queue[0][_TIME] > limit:
                 raise SimulationError(f"future not resolved by sim time {limit}")
             if not self.step():
                 raise SimulationError("event queue drained before future resolved")

@@ -103,6 +103,8 @@ class LatencyModel:
         uniform factor in ``[1, 1 + jitter_fraction]``.
     """
 
+    __slots__ = ("regions", "jitter_fraction", "_one_way")
+
     def __init__(self, regions: Sequence[str], jitter_fraction: float = 0.05) -> None:
         unknown = [r for r in regions if r not in REGIONS]
         if unknown:

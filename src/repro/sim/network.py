@@ -13,6 +13,14 @@ socket)" (Section II-C).  We reproduce that contract:
 clients).  It provides one-way sends, request/response RPC with correlation
 ids, and handler dispatch by message type.  Inbound messages are charged to
 the node's CPU model, which is how server saturation arises.
+
+Hot-path design: same-DC traffic dominates PaRiS (client/coordinator/cohort
+RPCs stay inside one DC), so those sends take a fast path that uses the
+constant LAN one-way delay — never a jittered draw, so a run's trajectory is
+identical whether or not it is being traced — and skip the tracer when
+tracing is off.  Envelopes/endpoints are ``__slots__`` dataclasses scheduled
+through the kernel's no-handle ``post_at`` path.  Inter-DC sends always
+sample the WAN latency model.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from .future import Future
 from .kernel import Simulator
 from .latency import LatencyModel
 from .rng import RngRegistry
+from .trace import GLOBAL_TRACER, Tracer
 
 Address = str
 
@@ -33,7 +42,7 @@ Address = str
 _FIFO_EPSILON = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message in flight."""
 
@@ -45,13 +54,13 @@ class Envelope:
     send_time: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Endpoint:
     dc_id: int
     deliver: Callable[[Envelope], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkMetrics:
     """Counters of fabric traffic, by payload type and DC scope."""
 
@@ -70,10 +79,33 @@ class NetworkMetrics:
 class Network:
     """The message fabric shared by all nodes of one simulation."""
 
-    def __init__(self, sim: Simulator, latency: LatencyModel, rngs: RngRegistry) -> None:
+    __slots__ = (
+        "_sim",
+        "_latency",
+        "_rng",
+        "_tracer",
+        "_lan_delay",
+        "_endpoints",
+        "_link_clock",
+        "_partitioned",
+        "_held",
+        "metrics",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        rngs: RngRegistry,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self._sim = sim
         self._latency = latency
         self._rng = rngs.stream("network.jitter")
+        self._tracer = tracer if tracer is not None else GLOBAL_TRACER
+        #: Constant intra-DC one-way delay used by the untraced fast path
+        #: (the LAN base latency is the same for every DC).
+        self._lan_delay = latency.base_one_way(0, 0)
         self._endpoints: Dict[Address, _Endpoint] = {}
         self._link_clock: Dict[Tuple[Address, Address], float] = {}
         self._partitioned: set[frozenset[int]] = set()
@@ -90,6 +122,11 @@ class Network:
         """The WAN latency model in use."""
         return self._latency
 
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer receiving ``net`` records (when enabled)."""
+        return self._tracer
+
     def register(self, address: Address, dc_id: int, deliver: Callable[[Envelope], None]) -> None:
         """Attach an endpoint; ``deliver`` is invoked for each arriving envelope."""
         if address in self._endpoints:
@@ -105,25 +142,66 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, envelope: Envelope) -> None:
         """Route one envelope, honouring per-link FIFO order and partitions."""
-        src_ep = self._endpoints.get(envelope.src)
-        dst_ep = self._endpoints.get(envelope.dst)
+        endpoints = self._endpoints
+        src_ep = endpoints.get(envelope.src)
+        dst_ep = endpoints.get(envelope.dst)
         if src_ep is None or dst_ep is None:
             missing = envelope.src if src_ep is None else envelope.dst
             raise KeyError(f"unknown address: {missing}")
         envelope.send_time = self._sim.now
-        self.metrics.record(envelope.payload, inter_dc=src_ep.dc_id != dst_ep.dc_id)
-        if self.is_partitioned(src_ep.dc_id, dst_ep.dc_id):
+        src_dc = src_ep.dc_id
+        dst_dc = dst_ep.dc_id
+        if src_dc == dst_dc:
+            # Same-DC fast path: never partitioned, and the delay is always
+            # the constant LAN latency — never a jitter draw — so enabling
+            # the tracer cannot perturb a seeded run's trajectory.  Only the
+            # tracer call itself is gated on tracing being on.
+            self.metrics.record(envelope.payload, inter_dc=False)
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.emit(
+                    self._sim.now,
+                    "net",
+                    envelope.src,
+                    dst=envelope.dst,
+                    payload=type(envelope.payload).__name__,
+                    delay=self._lan_delay,
+                    inter_dc=False,
+                )
+            self._deliver_after(envelope, self._lan_delay, dst_ep)
+            return
+        self.metrics.record(envelope.payload, inter_dc=True)
+        if self.is_partitioned(src_dc, dst_dc):
             self._held.setdefault((envelope.src, envelope.dst), []).append(envelope)
             return
-        self._schedule_delivery(envelope, src_ep.dc_id, dst_ep.dc_id)
+        self._schedule_delivery(envelope, src_dc, dst_dc)
+
+    def _deliver_after(self, envelope: Envelope, delay: float, endpoint: _Endpoint) -> None:
+        sim = self._sim
+        link = (envelope.src, envelope.dst)
+        link_clock = self._link_clock
+        deliver_at = sim.now + delay
+        floor = link_clock.get(link)
+        if floor is not None and deliver_at < floor + _FIFO_EPSILON:
+            deliver_at = floor + _FIFO_EPSILON
+        link_clock[link] = deliver_at
+        sim.post_at(deliver_at, lambda: endpoint.deliver(envelope))
 
     def _schedule_delivery(self, envelope: Envelope, src_dc: int, dst_dc: int) -> None:
         delay = self._latency.sample(self._rng, src_dc, dst_dc)
-        link = (envelope.src, envelope.dst)
-        deliver_at = max(self._sim.now + delay, self._link_clock.get(link, 0.0) + _FIFO_EPSILON)
-        self._link_clock[link] = deliver_at
         endpoint = self._endpoints[envelope.dst]
-        self._sim.call_at(deliver_at, lambda: endpoint.deliver(envelope))
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._sim.now,
+                "net",
+                envelope.src,
+                dst=envelope.dst,
+                payload=type(envelope.payload).__name__,
+                delay=delay,
+                inter_dc=src_dc != dst_dc,
+            )
+        self._deliver_after(envelope, delay, endpoint)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -177,6 +255,18 @@ class Node:
     sends the response of an RPC (or ``None`` for one-way messages); handlers
     may stash it and reply later, which is how blocking reads are modelled.
     """
+
+    __slots__ = (
+        "network",
+        "sim",
+        "address",
+        "dc_id",
+        "cpu",
+        "_pending_rpcs",
+        "_handler_cache",
+        "_paused",
+        "_backlog",
+    )
 
     _rpc_counter = itertools.count(1)
 

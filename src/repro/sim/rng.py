@@ -17,6 +17,8 @@ from typing import Dict
 class RngRegistry:
     """Factory of named, independently seeded ``random.Random`` streams."""
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}

@@ -114,7 +114,7 @@ def mean_cdf(per_source_samples: Iterable[Sequence[float]], n_points: int = 100)
     return averaged
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyRecorder:
     """Collects latency samples (seconds) with a streaming summary."""
 
@@ -138,6 +138,8 @@ class LatencyRecorder:
 
 class ThroughputMeter:
     """Counts completions inside a measurement window of simulated time."""
+
+    __slots__ = ("window_start", "window_end", "completed_in_window", "completed_total")
 
     def __init__(self) -> None:
         self.window_start: float | None = None

@@ -28,11 +28,11 @@ block       a BPR read parked / woke
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced event."""
 
@@ -55,6 +55,8 @@ class TraceRecord:
 
 class Tracer:
     """A sink of :class:`TraceRecord`, filterable by category."""
+
+    __slots__ = ("enabled", "categories", "limit", "records", "dropped")
 
     def __init__(self, categories: Optional[Set[str]] = None, limit: int = 1_000_000) -> None:
         self.enabled = False

@@ -16,27 +16,47 @@ from .version import TransactionId, Version, preload_version
 
 
 class _Chain:
-    """Version chain of one key, sorted ascending by version order key."""
+    """Version chain of one key, sorted ascending by version order key.
+
+    ``_order_keys`` is a cache of ``[v.order_key() for v in versions]`` used
+    for binary search.  Inserts in commit-timestamp order (the overwhelmingly
+    common case: Algorithm 4 applies transactions in increasing ct) take an
+    O(1) append fast path.  Garbage collection invalidates the cache instead
+    of slicing it in lockstep; it is rebuilt lazily on the next access, so a
+    GC sweep touching thousands of chains does one deferred rebuild per chain
+    actually read again rather than an eager O(n) slice per chain.
+    """
 
     __slots__ = ("versions", "_order_keys")
 
     def __init__(self) -> None:
         self.versions: List[Version] = []
-        self._order_keys: List[Tuple[int, TransactionId, int]] = []
+        self._order_keys: Optional[List[Tuple[int, TransactionId, int]]] = []
+
+    def _keys(self) -> List[Tuple[int, TransactionId, int]]:
+        keys = self._order_keys
+        if keys is None:
+            keys = self._order_keys = [v.order_key() for v in self.versions]
+        return keys
 
     def insert(self, version: Version) -> None:
         key = version.order_key()
-        index = bisect.bisect_left(self._order_keys, key)
-        if index < len(self._order_keys) and self._order_keys[index] == key:
+        keys = self._keys()
+        if not keys or key > keys[-1]:
+            keys.append(key)
+            self.versions.append(version)
+            return
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
             raise ValueError(f"duplicate version {key} for key {version.key!r}")
-        self._order_keys.insert(index, key)
+        keys.insert(index, key)
         self.versions.insert(index, version)
 
     def read(self, snapshot: int) -> Optional[Version]:
         """Freshest version with ``ut <= snapshot`` (None if none exists)."""
         # All versions with ut <= snapshot sort strictly below this sentinel.
         sentinel = (snapshot + 1, (-1, -1), -1)
-        index = bisect.bisect_left(self._order_keys, sentinel)
+        index = bisect.bisect_left(self._keys(), sentinel)
         if index == 0:
             return None
         return self.versions[index - 1]
@@ -52,11 +72,11 @@ class _Chain:
         visible = self.read(oldest_snapshot)
         if visible is None:
             return 0
-        index = self._order_keys.index(visible.order_key())
+        index = bisect.bisect_left(self._keys(), visible.order_key())
         if index == 0:
             return 0
         del self.versions[:index]
-        del self._order_keys[:index]
+        self._order_keys = None  # rebuilt lazily on next insert/read
         return index
 
 

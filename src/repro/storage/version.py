@@ -19,7 +19,7 @@ from typing import Any, Tuple
 TransactionId = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Version:
     """One immutable version of a key."""
 

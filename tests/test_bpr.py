@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro import build_cluster, small_test_config
-from repro.baselines.bpr import BPRClient, BPRServer
+from repro import build_cluster
+from repro.baselines.bpr import BPRServer
 from tests.conftest import drive, run_for
 
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro import build_cluster, small_test_config
-from repro.baselines.bpr import BPRServer
 from repro.bench.harness import PROTOCOLS, deploy_sessions
 from repro.consistency.checker import ConsistencyChecker
 from repro.consistency.oracle import ConsistencyOracle

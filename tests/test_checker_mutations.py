@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.consistency.checker import ConsistencyChecker
-from repro.consistency.oracle import ConsistencyOracle, version_id
+from repro.consistency.oracle import ConsistencyOracle
 from repro.core.client import ReadResult
 from repro.storage.version import Version
 

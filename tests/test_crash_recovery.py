@@ -8,7 +8,6 @@ UST resumes.  Consistency must survive the whole episode.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import build_cluster
 from repro.consistency.checker import ConsistencyChecker

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro import build_cluster, run_experiment, small_test_config
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel
-from repro.sim.network import Envelope, Network, Node
+from repro.sim.network import Network, Node
 from repro.sim.rng import RngRegistry
 
 

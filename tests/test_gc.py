@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import build_cluster
 from tests.conftest import drive, run_for

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import build_cluster, run_experiment, small_test_config
-from repro.bench.harness import PROTOCOLS, deploy_sessions
+from repro.bench.harness import deploy_sessions
 from repro.workload.runner import SessionStats
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import build_cluster, small_test_config
+from repro import build_cluster
 from repro.clocks.hlc import HybridLogicalClock
 from repro.clocks.logical import LogicalClock
 from repro.config import ClockConfig

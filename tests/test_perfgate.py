@@ -1,0 +1,139 @@
+"""Unit tests for the perf gate comparator (src/repro/bench/perfgate.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import perfgate
+
+
+def doc(**rates):
+    return {
+        "suite": "kernel_micro",
+        "schema": 1,
+        "metrics": {name: {"rate": rate, "unit": "ops/s"} for name, rate in rates.items()},
+    }
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        report = perfgate.compare(
+            doc(event_dispatch=1000.0), doc(event_dispatch=700.0), tolerance=0.25
+        )
+        assert not report.passed
+        assert [c.name for c in report.regressions] == ["event_dispatch"]
+        assert report.comparisons[0].ratio == pytest.approx(0.7)
+
+    def test_within_tolerance_passes(self):
+        report = perfgate.compare(
+            doc(event_dispatch=1000.0, round_trip=500.0),
+            doc(event_dispatch=800.0, round_trip=510.0),
+            tolerance=0.25,
+        )
+        assert report.passed
+        assert report.regressions == []
+
+    def test_improvement_passes(self):
+        report = perfgate.compare(doc(a=100.0), doc(a=400.0), tolerance=0.1)
+        assert report.passed
+        assert report.comparisons[0].ratio == pytest.approx(4.0)
+
+    def test_exactly_at_tolerance_boundary_passes(self):
+        report = perfgate.compare(doc(a=1000.0), doc(a=750.0), tolerance=0.25)
+        assert report.passed
+
+    def test_new_metric_passes_and_is_reported(self):
+        report = perfgate.compare(doc(a=1.0), doc(a=1.0, brand_new=9.0))
+        assert report.passed
+        assert report.new_metrics == ["brand_new"]
+
+    def test_missing_metric_fails(self):
+        report = perfgate.compare(doc(a=1.0, b=2.0), doc(a=1.0))
+        assert not report.passed
+        assert report.missing_metrics == ["b"]
+
+    def test_plain_float_metrics_accepted(self):
+        baseline = {"metrics": {"a": 100.0}}
+        current = {"metrics": {"a": 90.0}}
+        assert perfgate.compare(baseline, current, tolerance=0.25).passed
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(perfgate.PerfGateError):
+            perfgate.compare(doc(a=1.0), doc(a=1.0), tolerance=1.5)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(perfgate.PerfGateError):
+            perfgate.compare({"metrics": {"a": "fast"}}, doc(a=1.0))
+        with pytest.raises(perfgate.PerfGateError):
+            perfgate.compare({}, doc(a=1.0))
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        report = perfgate.compare(doc(a=0.0), doc(a=10.0))
+        assert report.passed
+        assert report.comparisons[0].ratio == float("inf")
+
+
+class TestRunGate:
+    def test_missing_baseline_bootstraps(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(doc(a=123.0)))
+        report = perfgate.run_gate(current, baseline, tolerance=0.25)
+        assert report.passed
+        assert report.bootstrapped
+        assert report.new_metrics == ["a"]
+        # The baseline now exists and matches the current results.
+        seeded = json.loads(baseline.read_text())
+        assert seeded["metrics"]["a"]["rate"] == 123.0
+        # A second run gates against the seeded baseline for real.
+        follow_up = perfgate.run_gate(current, baseline, tolerance=0.25)
+        assert not follow_up.bootstrapped
+        assert follow_up.passed
+
+    def test_missing_baseline_without_bootstrap_is_error(self, tmp_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(doc(a=1.0)))
+        with pytest.raises(perfgate.PerfGateError):
+            perfgate.run_gate(current, tmp_path / "nope.json", bootstrap=False)
+
+    def test_gate_detects_regression_from_files(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(doc(a=1000.0)))
+        current.write_text(json.dumps(doc(a=10.0)))
+        report = perfgate.run_gate(current, baseline, tolerance=0.25)
+        assert not report.passed
+        assert "FAIL" in report.render()
+
+    def test_malformed_current_does_not_seed_baseline(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps({"metrics": {"a": "oops"}}))
+        with pytest.raises(perfgate.PerfGateError):
+            perfgate.run_gate(current, baseline)
+        assert not baseline.exists()
+
+
+class TestCli:
+    def test_cli_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        baseline.write_text(json.dumps(doc(a=100.0)))
+        good.write_text(json.dumps(doc(a=95.0)))
+        bad.write_text(json.dumps(doc(a=5.0)))
+        assert perfgate.main([str(good), "--baseline", str(baseline)]) == 0
+        assert perfgate.main([str(bad), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" in out
+
+    def test_cli_missing_baseline_no_bootstrap(self, tmp_path, capsys):
+        current = tmp_path / "c.json"
+        current.write_text(json.dumps(doc(a=1.0)))
+        code = perfgate.main(
+            [str(current), "--baseline", str(tmp_path / "missing.json"), "--no-bootstrap"]
+        )
+        assert code == 2
+        assert "perf gate error" in capsys.readouterr().err

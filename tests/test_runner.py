@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro import build_cluster
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.runner import SessionDriver, SessionStats, run_transaction
 from tests.conftest import run_for

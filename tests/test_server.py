@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import build_cluster
-from repro.clocks.hlc import pack
 from repro.core.messages import (
     CommitTxMsg,
     PrepareReq,
@@ -13,7 +12,7 @@ from repro.core.messages import (
     ReplicateMsg,
     StartTxReq,
 )
-from tests.conftest import drive, run_for
+from tests.conftest import run_for
 
 
 def collect_reply():

@@ -8,7 +8,7 @@ import pytest
 
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel
-from repro.sim.network import Envelope, Network, Node
+from repro.sim.network import Network, Node
 from repro.sim.rng import RngRegistry
 
 

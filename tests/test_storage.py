@@ -190,3 +190,57 @@ class TestStoreProperties:
             store.apply("k", None, ut=ut, tid=tid(seq), sr=sr)
         keys = [v.order_key() for v in store.versions_of("k")]
         assert keys == sorted(keys)
+
+
+class TestOrderKeyLazyRebuild:
+    """The _order_keys cache is invalidated by GC and rebuilt lazily."""
+
+    def _chain(self, store, key="k"):
+        return store._chains[key]
+
+    def test_gc_invalidates_cache_and_read_rebuilds(self):
+        store = MultiVersionStore()
+        for ut in range(1, 11):
+            store.apply("k", ut, ut=ut, tid=tid(ut), sr=0)
+        assert store.collect(5) == 4
+        assert self._chain(store)._order_keys is None  # invalidated, not sliced
+        assert store.read("k", 7).ut == 7  # rebuild on demand
+        assert self._chain(store)._order_keys is not None
+
+    def test_insert_after_gc_rebuilds_and_stays_sorted(self):
+        store = MultiVersionStore()
+        for ut in (2, 6, 4, 10, 8):
+            store.apply("k", ut, ut=ut, tid=tid(ut), sr=0)
+        store.collect(5)
+        # Out-of-order insert straight after GC forces the rebuild path.
+        store.apply("k", 5, ut=5, tid=tid(5), sr=0)
+        keys = [v.order_key() for v in store.versions_of("k")]
+        assert keys == sorted(keys)
+        assert store.read("k", 5).ut == 5
+
+    def test_in_order_insert_takes_append_fast_path(self):
+        store = MultiVersionStore()
+        for ut in range(1, 101):
+            store.apply("k", ut, ut=ut, tid=tid(ut), sr=0)
+        chain = self._chain(store)
+        assert chain._order_keys == [v.order_key() for v in chain.versions]
+        assert store.read("k", 50).ut == 50
+
+    def test_duplicate_still_rejected_after_gc(self):
+        store = MultiVersionStore()
+        for ut in range(1, 6):
+            store.apply("k", ut, ut=ut, tid=tid(ut), sr=0)
+        store.collect(3)
+        with pytest.raises(ValueError, match="duplicate"):
+            store.apply("k", 4, ut=4, tid=tid(4), sr=0)
+
+    def test_repeated_gc_cycles_consistent(self):
+        store = MultiVersionStore()
+        for ut in range(1, 31):
+            store.apply("k", ut, ut=ut, tid=tid(ut), sr=0)
+        store.collect(10)
+        store.collect(20)  # second GC runs against a lazily rebuilt cache
+        assert store.read("k", 20).ut == 20
+        assert store.read("k", 19) is None or store.read("k", 19).ut <= 19
+        keys = [v.order_key() for v in store.versions_of("k")]
+        assert keys == sorted(keys)

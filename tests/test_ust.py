@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import build_cluster, small_test_config
+from repro import build_cluster
 from tests.conftest import run_for
 
 

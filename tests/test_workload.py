@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import replace
 
 import pytest
 
