@@ -128,6 +128,15 @@ SECTIONS = [
         "Logical clocks advance only on events, so visibility latency "
         "degrades (most at the tail); HLC keeps it bounded.",
     ),
+    (
+        "fault_partition",
+        "Fault scenario — availability under an inter-DC partition (ours)",
+        "Section III-C: a partitioned DC freezes the UST everywhere, but "
+        "reads never block.",
+        "PaRiS keeps committing at the frozen snapshot with zero blocked "
+        "reads; BPR's reads park until the heal; the consistency checker "
+        "finds no violation in either history.",
+    ),
 ]
 
 

@@ -1,7 +1,8 @@
 """Ablation: sensitivity to the stabilization period (Delta_G / Delta_U).
 
 The paper runs its stabilization every 5 ms without exploring the choice.
-This ablation quantifies the trade-off DESIGN.md calls out: a shorter period
+This ablation quantifies the trade-off docs/architecture.md calls out: a
+shorter period
 buys fresher UST snapshots (lower data staleness and visibility latency) at
 the price of more gossip messages; throughput is essentially unaffected
 because gossip is off the critical path.

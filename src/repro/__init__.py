@@ -8,9 +8,12 @@ Public API surface:
 * :class:`~repro.core.client.PaRiSClient` / :class:`~repro.core.server.PaRiSServer`
   — the protocol itself (Algorithms 1-4);
 * :mod:`repro.baselines` — the BPR blocking competitor;
-* :mod:`repro.consistency` — the TCC invariant checker.
+* :mod:`repro.consistency` — the TCC invariant checker;
+* :mod:`repro.faults` — declarative, deterministic fault injection.
 
-See README.md for a quickstart and DESIGN.md for the architecture.
+See README.md for a quickstart, docs/architecture.md for the module map,
+docs/protocol.md for the protocol walkthrough, and docs/faults.md for the
+fault-plan schema.
 """
 
 from .bench.harness import (
@@ -34,6 +37,7 @@ from .consistency.oracle import ConsistencyOracle
 from .core.client import PaRiSClient, ReadResult, TransactionHandle
 from .core.server import PaRiSServer
 from .baselines.bpr import BPRClient, BPRServer
+from .faults import FaultEvent, FaultInjector, FaultPlan
 
 __version__ = "1.0.0"
 
@@ -46,6 +50,9 @@ __all__ = [
     "ConsistencyChecker",
     "ConsistencyOracle",
     "ExperimentResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "PaRiSClient",
     "PaRiSServer",
     "ProtocolConfig",

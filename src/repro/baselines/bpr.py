@@ -51,6 +51,7 @@ class BPRServer(PaRiSServer):
     # Blocking read slices
     # ------------------------------------------------------------------
     def handle_ReadSliceReq(self, src: str, msg: ReadSliceReq, reply: Callable) -> None:
+        """Serve the slice if the snapshot is installed locally; else park."""
         if self.local_stable_time >= msg.snapshot:
             self._serve_read_slice(msg, reply)
             return

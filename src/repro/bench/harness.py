@@ -22,6 +22,7 @@ from ..config import SimulationConfig
 from ..consistency.oracle import ConsistencyOracle
 from ..core.client import PaRiSClient
 from ..core.server import PaRiSServer
+from ..faults.engine import FaultInjector
 from ..sim.kernel import Simulator
 from ..sim.latency import LatencyModel
 from ..sim.network import Network
@@ -52,6 +53,8 @@ class Cluster:
     protocol: str
     servers: Dict[Tuple[int, int], PaRiSServer]
     oracle: Optional[ConsistencyOracle] = None
+    #: Set when the configuration carries a fault plan (see repro.faults).
+    injector: Optional[FaultInjector] = None
     clients: List[PaRiSClient] = field(default_factory=list)
     drivers: List[SessionDriver] = field(default_factory=list)
     _client_counters: Dict[Tuple[int, int], int] = field(default_factory=dict)
@@ -73,21 +76,18 @@ class Cluster:
         return self.sim.now - timestamp_to_seconds(self.min_ust())
 
     def crash_server(self, dc_id: int, partition: int) -> None:
-        """Fail-stop one replica: timers stop, inbound traffic queues.
+        """Fail-stop one replica (see :meth:`repro.core.server.PaRiSServer.crash`).
 
-        Models Section III-C: the server's state is durable and peers (TCP)
-        retransmit, so nothing is lost — but the UST stalls system-wide until
-        the server recovers, because it is computed as a global minimum.
+        Models Section III-C: durable state (store, 2PC logs, own watermark)
+        survives, volatile state is dropped, and peers (TCP) retransmit — but
+        the UST stalls system-wide until the server recovers, because it is
+        computed as a global minimum.
         """
-        server = self.server(dc_id, partition)
-        server.stop()
-        server.pause_delivery()
+        self.server(dc_id, partition).crash()
 
     def recover_server(self, dc_id: int, partition: int) -> None:
-        """Bring a crashed replica back: drain its backlog, restart timers."""
-        server = self.server(dc_id, partition)
-        server.resume_delivery()
-        server.start()
+        """Bring a crashed replica back: replay durable state, drain backlog."""
+        self.server(dc_id, partition).recover()
 
     def client_class(self) -> Type[PaRiSClient]:
         """The client class matching this cluster's protocol."""
@@ -168,7 +168,7 @@ def build_cluster(
     for server in servers.values():
         server.start()
 
-    return Cluster(
+    cluster = Cluster(
         sim=sim,
         network=network,
         spec=spec,
@@ -178,6 +178,10 @@ def build_cluster(
         servers=servers,
         oracle=oracle,
     )
+    if config.faults is not None:
+        cluster.injector = FaultInjector(cluster)
+        cluster.injector.install(config.faults)
+    return cluster
 
 
 def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver]:

@@ -176,6 +176,7 @@ def run_gate(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit status 1 means the gate failed."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("current", help="JSON results of the run under test")
     parser.add_argument(

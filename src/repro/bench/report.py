@@ -17,6 +17,7 @@ from .experiments import (
     CurvePoint,
     Figure1Summary,
     LocalityPoint,
+    PartitionStallResult,
     ScalePoint,
     StabilizationPoint,
     VisibilityResult,
@@ -147,6 +148,47 @@ def render_blocking(rows: List[BlockingResult]) -> str:
         ],
     )
     return f"BPR read blocking time at high load (Section V-B)\n{table}"
+
+
+def render_partition_stall(rows: List[PartitionStallResult]) -> str:
+    """Availability under an inter-DC partition (Section III-C)."""
+    table = format_table(
+        [
+            "protocol",
+            "tx before",
+            "tx during",
+            "tx after",
+            "parked @ heal",
+            "blocked slices",
+            "max block (s)",
+            "staleness @ heal (s)",
+            "violations",
+        ],
+        [
+            (
+                row.protocol,
+                row.committed_before,
+                row.committed_during,
+                row.committed_after,
+                row.parked_at_heal,
+                row.blocked_slices,
+                f"{row.blocking_max:.2f}",
+                f"{row.ust_staleness_at_heal:.2f}",
+                row.violations,
+            )
+            for row in rows
+        ],
+    )
+    lines = [f"Availability under an inter-DC partition (plan: {rows[0].plan_name})", table]
+    by_protocol = {row.protocol: row for row in rows}
+    paris, bpr = by_protocol.get("paris"), by_protocol.get("bpr")
+    if paris is not None and bpr is not None and bpr.committed_during < paris.committed_during:
+        lines.append(
+            f"\nPaRiS committed {paris.committed_during} transactions during the partition "
+            f"with {paris.blocked_slices} blocked reads; BPR committed "
+            f"{bpr.committed_during} with {bpr.parked_at_heal} reads still parked at heal."
+        )
+    return "\n".join(lines)
 
 
 def render_capacity(rows: List[CapacityRow]) -> str:

@@ -2,10 +2,14 @@
 
 Commands
 --------
-``run``       Run one simulated experiment and print its summary.
+``run``       Run one simulated experiment and print its summary
+              (``--faults plan.json`` applies a fault schedule).
 ``compare``   Run PaRiS and BPR on the same configuration, side by side.
 ``check``     Run a workload under the consistency oracle and report
-              violations (exit status 1 if any are found).
+              violations (exit status 1 if any are found); also accepts
+              ``--faults``.
+``chaos``     Generate (or load) a fault schedule, run a workload under it,
+              and verify consistency survived.
 ``topology``  Describe a deployment's placement and capacity.
 ``figure``    Regenerate one of the paper's figures/tables.
 """
@@ -24,6 +28,7 @@ from .cluster.topology import ClusterSpec
 from .config import SimulationConfig
 from .consistency.checker import ConsistencyChecker
 from .consistency.oracle import ConsistencyOracle
+from .faults import FaultPlan, random_plan
 
 #: Figure/table names accepted by ``repro figure``.
 FIGURES = (
@@ -36,6 +41,7 @@ FIGURES = (
     "table1",
     "capacity",
     "blocking",
+    "partition",
 )
 
 
@@ -53,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--json", action="store_true", help="emit the result as JSON instead of text"
     )
+    _add_faults_arg(run_cmd)
 
     compare_cmd = commands.add_parser("compare", help="PaRiS vs BPR, same config")
     _add_cluster_args(compare_cmd)
@@ -60,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd = commands.add_parser("check", help="verify TCC invariants under load")
     _add_cluster_args(check_cmd)
     check_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    _add_faults_arg(check_cmd)
+
+    chaos_cmd = commands.add_parser(
+        "chaos", help="seeded random faults + consistency check"
+    )
+    _add_cluster_args(chaos_cmd)
+    chaos_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    chaos_cmd.add_argument(
+        "--episodes", type=int, default=6, help="fault episodes to generate"
+    )
+    chaos_cmd.add_argument(
+        "--plan", metavar="PLAN_JSON", help="apply this plan instead of generating one"
+    )
+    chaos_cmd.add_argument(
+        "--plan-out", metavar="OUT_JSON", help="write the applied plan to this file"
+    )
+    chaos_cmd.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed for plan generation (default: --seed)",
+    )
 
     topology_cmd = commands.add_parser("topology", help="describe a deployment")
     topology_cmd.add_argument("--dcs", type=int, default=5)
@@ -73,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="deployment scale (default: small)",
     )
     return parser
+
+
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN_JSON",
+        help="fault plan (JSON, see docs/faults.md) applied during the run",
+    )
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -101,12 +138,16 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
         threads_per_client=args.threads,
         partitions_per_tx=min(4, args.machines),
     )
+    faults = None
+    if getattr(args, "faults", None):
+        faults = FaultPlan.load(args.faults)
     return SimulationConfig(
         cluster=cluster,
         workload=workload,
         seed=args.seed,
         warmup=args.warmup,
         duration=args.duration,
+        faults=faults,
     )
 
 
@@ -135,6 +176,7 @@ def format_result(result: ExperimentResult) -> str:
 # Command implementations
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one experiment, text or JSON summary."""
     result = run_experiment(config_from_args(args), protocol=args.protocol)
     if args.json:
         print(result.to_json())
@@ -144,6 +186,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: PaRiS vs BPR on one configuration."""
     config = config_from_args(args)
     results = {p: run_experiment(config, protocol=p) for p in ("paris", "bpr")}
     rows = [
@@ -171,6 +214,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: TCC invariants under load; exit 1 on violations."""
     oracle = ConsistencyOracle()
     result = run_experiment(config_from_args(args), protocol=args.protocol, oracle=oracle)
     violations = ConsistencyChecker(oracle).check_all()
@@ -183,7 +227,46 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: run under a (generated) fault plan, then check TCC."""
+    config = config_from_args(args)
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = random_plan(
+            config.cluster,
+            seed=args.chaos_seed if args.chaos_seed is not None else args.seed,
+            horizon=config.warmup + config.duration,
+            episodes=args.episodes,
+        )
+    config = config.with_(faults=plan)
+    print(f"fault plan '{plan.name or 'unnamed'}' ({len(plan)} events):")
+    for event in plan:
+        target = event.to_dict()
+        target.pop("at")
+        target.pop("action")
+        detail = " ".join(f"{k}={v}" for k, v in target.items())
+        print(f"  t={event.at:7.3f}s  {event.action:<9} {detail}")
+    if args.plan_out:
+        plan.dump(args.plan_out)
+        print(f"plan written to {args.plan_out}")
+    oracle = ConsistencyOracle()
+    result = run_experiment(config, protocol=args.protocol, oracle=oracle)
+    violations = ConsistencyChecker(oracle).check_all()
+    applied = len(plan)
+    print(
+        f"\n{args.protocol} survived {applied} fault events: "
+        f"{result.throughput:,.0f} tx/s in the window, "
+        f"{len(oracle.commits)} commits / {len(oracle.reads)} reads checked, "
+        f"{len(violations)} violations"
+    )
+    for violation in violations[:20]:
+        print(f"  {violation}")
+    return 1 if violations else 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
+    """``repro topology``: placement and storage footprint of a deployment."""
     spec = ClusterSpec.from_machines(
         n_dcs=args.dcs, machines_per_dc=args.machines, replication_factor=args.rf
     )
@@ -204,6 +287,7 @@ def cmd_topology(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    """``repro figure``: regenerate one paper artifact."""
     scale = exp.SCALES[args.scale]
     name = args.name
     if name == "fig1a":
@@ -228,6 +312,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(report.render_capacity(exp.capacity_comparison(scale)))
     elif name == "blocking":
         print(report.render_blocking(exp.blocking_time(scale)))
+    elif name == "partition":
+        print(report.render_partition_stall(exp.partition_stall(scale)))
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(name)
     return 0
@@ -237,6 +323,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "check": cmd_check,
+    "chaos": cmd_chaos,
     "topology": cmd_topology,
     "figure": cmd_figure,
 }

@@ -44,6 +44,17 @@ class PhysicalClock:
         drift = rng.uniform(-max_drift, max_drift)
         return cls(sim, offset=offset, drift=drift)
 
+    def nudge(self, offset_seconds: float) -> None:
+        """Step the clock's offset (fault injection: a bad NTP sync).
+
+        ``now_micros`` stays monotonic regardless of the step's sign: after a
+        negative step the clock holds at its last reading (plus one tick per
+        call) until the skewed time overtakes it, the way a sane timekeeping
+        daemon slews rather than rewinds.  HLCs absorb the residual skew, so
+        correctness is unaffected; freshness (UST staleness) is what moves.
+        """
+        self.offset += offset_seconds
+
     def now_seconds(self) -> float:
         """Local physical time in seconds (may be ahead/behind sim time)."""
         return max(0.0, self._sim.now * (1.0 + self.drift) + self.offset)

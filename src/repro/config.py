@@ -12,14 +12,17 @@ Defaults reproduce the paper's default configuration (Section V-A):
 
 The service-cost model stands in for the paper's c5.xlarge servers (4 vCPUs);
 absolute throughput therefore differs from the paper, but relative behaviour
-(saturation, blocking overheads, scaling) is preserved.  See DESIGN.md.
+(saturation, blocking overheads, scaling) is preserved.  See
+docs/architecture.md.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .cluster.topology import ClusterSpec
+from .faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -169,6 +172,8 @@ class SimulationConfig:
     duration: float = 2.0
     #: Fraction of committed transactions probed for visibility latency.
     visibility_sample_rate: float = 0.0
+    #: Deterministic fault schedule applied during the run (None = healthy).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0:
@@ -177,6 +182,8 @@ class SimulationConfig:
             raise ValueError("visibility_sample_rate must be in [0, 1]")
         if self.cluster.n_dcs > 10:
             raise ValueError("the latency model covers at most 10 regions")
+        if self.faults is not None:
+            self.faults.validate_for(self.cluster)
 
     def with_(self, **overrides) -> "SimulationConfig":
         """A copy with the given top-level fields replaced."""

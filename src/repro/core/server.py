@@ -145,7 +145,8 @@ class PaRiSServer(Node):
         self._tree = spec.dc_tree(dc_id, config.protocol.tree_fanout)
         parent = self._tree.parent(partition)
         self._parent_addr = server_address(dc_id, parent) if parent is not None else None
-        self._child_addrs = [server_address(dc_id, c) for c in self._tree.children(partition)]
+        self._child_partitions = list(self._tree.children(partition))
+        self._child_addrs = [server_address(dc_id, c) for c in self._child_partitions]
         self._child_reports: Dict[int, AggUpMsg] = {}
         self.is_root = self._tree.root == partition
         #: Latest GST/oldest pair per DC (root only; own entry included).
@@ -204,6 +205,42 @@ class PaRiSServer(Node):
             cancel()
         self._cancel_timers.clear()
 
+    def crash(self) -> None:
+        """Fail-stop this replica: timers stop, volatile state is dropped.
+
+        What survives is exactly the durable state of Section III-C: the
+        multiversion store, the prepared/committed transaction logs (2PC
+        forces them to disk before acknowledging), and this replica's own
+        advertised version-clock watermark (persisted with the log it
+        covers).  What is lost is soft state: coordinator transaction
+        contexts (their clients fall back to the current UST snapshot on the
+        next request), stabilization-tree child reports, remote-DC GST
+        reports, and pending visibility probes.  Inbound traffic queues
+        while down — TCP peers retransmit — so nothing is lost in flight.
+        """
+        self.stop()
+        self.pause_delivery()
+        self._contexts.clear()
+        self._child_reports.clear()
+        self._dc_reports.clear()
+        self._visibility_pending.clear()
+
+    def recover(self) -> None:
+        """Restart from durable state (the mvstore + logs) and rejoin.
+
+        Peer entries of the version vector are volatile, so they restart at
+        zero and are re-learned from the replayed backlog and the next
+        heartbeats — within about one replication interval.  Until then this
+        server's ``min(VV)`` is conservative, which can only *stall* the UST
+        (it is adopted monotonically everywhere), never regress it.
+        """
+        own = self.replica_index
+        for index in range(len(self.vv)):
+            if index != own:
+                self.vv[index] = 0
+        self.resume_delivery()
+        self.start()
+
     def preload(self, key: str, value: Any) -> None:
         """Install a timestamp-zero base version of ``key``."""
         self.store.preload(key, value)
@@ -212,6 +249,7 @@ class PaRiSServer(Node):
     # Service-cost model
     # ------------------------------------------------------------------
     def service_cost(self, payload: Any) -> float:
+        """CPU seconds charged for ``payload`` (see :class:`ServiceModel`)."""
         service = self.config.service
         cost = service.base_cost
         if isinstance(payload, (ReadSliceReq, ReadReq, OneShotReadReq)):
@@ -229,6 +267,7 @@ class PaRiSServer(Node):
     # Coordinator role (Algorithm 2)
     # ------------------------------------------------------------------
     def handle_StartTxReq(self, src: str, msg: StartTxReq, reply: Callable) -> None:
+        """Algorithm 2, START: assign a snapshot and open a context."""
         snapshot = self._assign_snapshot(msg.client_snapshot)
         tid: TransactionId = (next(self._tx_seq), self.uid)
         self._contexts[tid] = _TxContext(snapshot=snapshot, created_at=self.sim.now)
@@ -242,6 +281,7 @@ class PaRiSServer(Node):
         return self.ust
 
     def handle_ReadReq(self, src: str, msg: ReadReq, reply: Callable) -> None:
+        """Algorithm 2, READ: fan slices out to preferred replicas, merge."""
         snapshot = self._context_snapshot(msg.tid)
         slices: Dict[int, List[str]] = {}
         for key in msg.keys:
@@ -255,6 +295,7 @@ class PaRiSServer(Node):
             )
 
         def respond(responses: List[ReadSliceResp]) -> None:
+            """Merge the slices and answer the client's READ."""
             merged: List[Tuple[str, Version]] = []
             for response in responses:
                 merged.extend(response.versions)
@@ -282,6 +323,7 @@ class PaRiSServer(Node):
             )
 
         def respond(responses: List[ReadSliceResp]) -> None:
+            """Merge the slices and answer the one-shot read."""
             merged: List[Tuple[str, Version]] = []
             for response in responses:
                 merged.extend(response.versions)
@@ -290,6 +332,7 @@ class PaRiSServer(Node):
         all_of(futures).add_done_callback(lambda fut: respond(fut.value))
 
     def handle_CommitReq(self, src: str, msg: CommitReq, reply: Callable) -> None:
+        """Algorithm 2, COMMIT: run 2PC over the write partitions."""
         snapshot = self._context_snapshot(msg.tid)
         highest = max(snapshot, msg.highest_write_ts)
         if not msg.writes:
@@ -319,6 +362,7 @@ class PaRiSServer(Node):
             )
 
         def decide(responses: List[PrepareResp]) -> None:
+            """2PC decision: max of the votes, then notify every cohort."""
             commit_ts = max(response.proposed_ts for response in responses)
             decided_at = self.sim.now
             for target in targets:
@@ -338,6 +382,7 @@ class PaRiSServer(Node):
         all_of(futures).add_done_callback(lambda fut: decide(fut.value))
 
     def handle_FinishTxMsg(self, src: str, msg: FinishTxMsg, reply: Callable) -> None:
+        """Read-only transactions end here: free the coordinator context."""
         self._contexts.pop(msg.tid, None)
 
     def _context_snapshot(self, tid: TransactionId) -> int:
@@ -356,6 +401,7 @@ class PaRiSServer(Node):
     # Cohort role (Algorithm 3)
     # ------------------------------------------------------------------
     def handle_ReadSliceReq(self, src: str, msg: ReadSliceReq, reply: Callable) -> None:
+        """Algorithm 3, read slice: serve at the snapshot, never blocking."""
         self._observe_snapshot(msg.snapshot)
         self._serve_read_slice(msg, reply)
 
@@ -377,6 +423,7 @@ class PaRiSServer(Node):
         reply(ReadSliceResp(versions=tuple(versions)))
 
     def handle_PrepareReq(self, src: str, msg: PrepareReq, reply: Callable) -> None:
+        """Algorithm 3, prepare: vote a commit timestamp, queue the writes."""
         new_hlc = self.hlc.update(msg.highest_ts)
         self._observe_snapshot(msg.snapshot)
         proposed = max(new_hlc, self.ust)
@@ -387,6 +434,7 @@ class PaRiSServer(Node):
         reply(PrepareResp(tid=msg.tid, proposed_ts=proposed))
 
     def handle_CommitTxMsg(self, src: str, msg: CommitTxMsg, reply: Callable) -> None:
+        """Algorithm 3, commit: move the transaction to the committed queue."""
         self.hlc.observe(msg.commit_ts)
         prepared = self._prepared.pop(msg.tid, None)
         if prepared is None:
@@ -488,6 +536,7 @@ class PaRiSServer(Node):
     # Replication receipt
     # ------------------------------------------------------------------
     def handle_ReplicateMsg(self, src: str, msg: ReplicateMsg, reply: Callable) -> None:
+        """Apply a peer replica's batch and adopt its watermark."""
         for group in msg.groups:
             self._apply_writes(
                 group.writes, group.commit_ts, group.tid, group.source_dc, group.decided_at
@@ -496,6 +545,7 @@ class PaRiSServer(Node):
         self._advance_peer_clock(src, msg.watermark)
 
     def handle_HeartbeatMsg(self, src: str, msg: HeartbeatMsg, reply: Callable) -> None:
+        """Advance a peer's version-vector entry during idle periods."""
         self._advance_peer_clock(src, msg.ts)
 
     def _advance_peer_clock(self, src: str, value: int) -> None:
@@ -525,7 +575,14 @@ class PaRiSServer(Node):
     def _aggregate_subtree(self) -> Tuple[int, int]:
         stable_min = min(self.vv)
         oldest = self._oldest_active_snapshot()
-        for report in self._child_reports.values():
+        for child in self._child_partitions:
+            report = self._child_reports.get(child)
+            if report is None:
+                # A child has not reported since this node (re)started —
+                # speak for the subtree with the safe floor rather than
+                # overshooting it (crash recovery drops child reports; an
+                # overshoot here could advance the UST past installed state).
+                return 0, 0
             stable_min = min(stable_min, report.stable_min)
             oldest = min(oldest, report.oldest_active)
         return stable_min, oldest
@@ -537,9 +594,11 @@ class PaRiSServer(Node):
         return self.ust
 
     def handle_AggUpMsg(self, src: str, msg: AggUpMsg, reply: Callable) -> None:
+        """Stabilization tree: cache a child subtree's report."""
         self._child_reports[msg.partition] = msg
 
     def handle_DcGstMsg(self, src: str, msg: DcGstMsg, reply: Callable) -> None:
+        """Root gossip: record another DC's GST / oldest-active pair."""
         previous = self._dc_reports.get(msg.dc_id)
         gst = msg.gst if previous is None else max(previous[0], msg.gst)
         self._dc_reports[msg.dc_id] = (gst, msg.oldest_active)
@@ -558,6 +617,7 @@ class PaRiSServer(Node):
             self.cast(child, message)
 
     def handle_UstBroadcastMsg(self, src: str, msg: UstBroadcastMsg, reply: Callable) -> None:
+        """Adopt the root's UST and pass it down the tree."""
         self._adopt_ust(msg.ust, msg.oldest_global)
         self._broadcast_ust()
 

@@ -1,0 +1,149 @@
+"""Seeded random fault schedules ("chaos mode", ``repro chaos``).
+
+Generates a :class:`~repro.faults.plan.FaultPlan` of randomised fault
+*episodes* — crash windows, partition windows, link degradations and clock
+steps — from a single seed, shaped so that:
+
+* every fault is undone before the plan's horizon (the run ends healthy,
+  letting backlogs drain so the consistency checker sees complete sessions);
+* no server is crashed twice concurrently and at least one replica of every
+  partition stays up (the paper's fail-stop model assumes a quorum of
+  durable state; killing all replicas of a partition just halts the load);
+* the same ``(seed, spec, horizon)`` triple always yields the same plan.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..cluster.topology import ClusterSpec
+from .plan import FaultEvent, FaultPlan
+
+#: Episode kinds the generator may draw, with relative weights.
+EPISODE_KINDS: Tuple[Tuple[str, float], ...] = (
+    ("crash", 3.0),
+    ("partition", 3.0),
+    ("degrade", 2.0),
+    ("skew", 1.0),
+)
+
+#: Largest clock step (seconds) a ``skew`` episode may apply.
+MAX_SKEW = 0.01
+
+
+def random_plan(
+    spec: ClusterSpec,
+    *,
+    seed: int,
+    horizon: float,
+    episodes: int = 6,
+    start: Optional[float] = None,
+    kinds: Sequence[Tuple[str, float]] = EPISODE_KINDS,
+) -> FaultPlan:
+    """A seeded random plan of ``episodes`` fault episodes within ``horizon``.
+
+    Episodes begin no earlier than ``start`` (default: 15 % of the horizon,
+    leaving the stabilization plane time to converge) and every window closes
+    by 85 % of the horizon.  Draws landing on an exhausted target are redrawn,
+    so the requested count is met unless the deployment runs out of fresh
+    targets (e.g. every DC pair already has a partition window); the search
+    is bounded, deterministic in ``seed``, and may then fall short.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive: {horizon}")
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1: {episodes}")
+    rng = random.Random(seed)
+    first = start if start is not None else 0.15 * horizon
+    last = 0.85 * horizon
+    if not 0 <= first < last:
+        raise ValueError(f"no room for episodes in [{first}, {last}]")
+
+    events: List[FaultEvent] = []
+    # One episode per target, so windows of one target never overlap (an
+    # overlapping crash/crash would be rejected by the plan validator, and an
+    # overlapping partition/heal pair would not mean what the plan says).
+    # A draw that lands on an exhausted target is *redrawn*, not consumed, so
+    # the plan carries the requested number of episodes whenever the
+    # deployment still has fresh targets (small deployments can run out — the
+    # attempt budget below bounds that search deterministically).
+    crashed: Set[Tuple[int, int]] = set()
+    partitioned: Set[Tuple[int, int]] = set()
+    degraded: Set[Tuple[int, int]] = set()
+    population = [kind for kind, _ in kinds]
+    weights = [weight for _, weight in kinds]
+    made = 0
+    attempts_left = episodes * 20
+    while made < episodes and attempts_left > 0:
+        attempts_left -= 1
+        kind = rng.choices(population, weights=weights)[0]
+        begin = rng.uniform(first, last)
+        end = rng.uniform(begin, last)
+        if kind == "crash":
+            target = _crashable_server(spec, rng, crashed)
+            if target is None:
+                continue  # every further crash would lose a partition
+            dc, partition = target
+            crashed.add(target)
+            events.append(FaultEvent(at=begin, action="crash", dc=dc, partition=partition))
+            events.append(FaultEvent(at=end, action="recover", dc=dc, partition=partition))
+        elif kind == "partition" and spec.n_dcs >= 2:
+            pair = tuple(sorted(rng.sample(range(spec.n_dcs), 2)))
+            if pair in partitioned:
+                continue
+            partitioned.add(pair)
+            events.append(FaultEvent(at=begin, action="partition", dcs=pair))
+            events.append(FaultEvent(at=end, action="heal", dcs=pair))
+        elif kind == "degrade" and spec.n_dcs >= 2:
+            pair = tuple(sorted(rng.sample(range(spec.n_dcs), 2)))
+            if pair in degraded:
+                continue
+            degraded.add(pair)
+            events.append(
+                FaultEvent(
+                    at=begin,
+                    action="degrade",
+                    dcs=pair,
+                    extra_latency=rng.uniform(0.01, 0.1),
+                    loss=rng.uniform(0.0, 0.2),
+                )
+            )
+            events.append(FaultEvent(at=end, action="restore", dcs=pair))
+        elif kind == "skew":
+            dc = rng.randrange(spec.n_dcs)
+            partition = rng.choice(spec.dc_partitions(dc))
+            events.append(
+                FaultEvent(
+                    at=begin,
+                    action="skew",
+                    dc=dc,
+                    partition=partition,
+                    offset=rng.uniform(-MAX_SKEW, MAX_SKEW),
+                )
+            )
+        else:
+            continue  # single-DC deployment: no link to fault; redraw
+        made += 1
+    return FaultPlan(events=tuple(events), name=f"chaos-seed{seed}")
+
+
+def _crashable_server(
+    spec: ClusterSpec, rng: random.Random, crashed: Set[Tuple[int, int]]
+) -> Optional[Tuple[int, int]]:
+    """A random (dc, partition) whose crash leaves every partition served."""
+    candidates = []
+    for dc in range(spec.n_dcs):
+        for partition in spec.dc_partitions(dc):
+            if (dc, partition) in crashed:
+                continue
+            peers_up = [
+                peer
+                for peer in spec.replica_dcs(partition)
+                if peer != dc and (peer, partition) not in crashed
+            ]
+            if peers_up:
+                candidates.append((dc, partition))
+    if not candidates:
+        return None
+    return rng.choice(candidates)

@@ -1,0 +1,304 @@
+"""Declarative fault schedules: the *what and when* of fault injection.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` entries, each
+naming an action, the simulated time it fires at, and its target.  Plans are
+plain data — they can be written by hand, loaded from JSON (``repro run
+--faults plan.json``), or generated from a seed (:mod:`repro.faults.chaos`) —
+and are applied by :class:`repro.faults.engine.FaultInjector`.
+
+The supported actions (see docs/faults.md for the JSON schema):
+
+=========== ===================== =======================================
+action       target fields         effect
+=========== ===================== =======================================
+crash        dc, partition         fail-stop one partition replica
+recover      dc, partition         restart a crashed replica
+partition    dcs *or* dc           sever one DC pair (or isolate one DC)
+heal         dcs *or* nothing      reconnect one pair (or everything)
+degrade      dcs [+extra_latency,  add latency and/or retransmission-
+             loss]                 causing loss to one inter-DC link
+restore      dcs *or* nothing      undo ``degrade`` for one link (or all)
+skew         dc, partition,        step one server's physical clock by
+             offset                ``offset`` seconds
+=========== ===================== =======================================
+
+Determinism: a plan carries no randomness of its own.  Fault times are
+absolute simulated seconds, events at equal times apply in plan order, and
+any randomness a fault *induces* (e.g. loss retransmission draws) flows
+through dedicated named RNG streams — so one (seed, plan) pair always yields
+one trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..cluster.topology import ClusterSpec
+
+#: Actions a :class:`FaultEvent` may carry.
+ACTIONS = ("crash", "recover", "partition", "heal", "degrade", "restore", "skew")
+
+#: Actions that target one server replica via ``dc`` + ``partition``.
+_SERVER_ACTIONS = ("crash", "recover", "skew")
+
+#: Actions that target an inter-DC link via ``dcs``.
+_LINK_ACTIONS = ("partition", "heal", "degrade", "restore")
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed fault events or plans."""
+
+
+_ALL_TARGET_FIELDS = frozenset({"dc", "partition", "dcs", "extra_latency", "loss", "offset"})
+
+#: Default value of each target/effect field (``!= default`` means "set").
+_FIELD_DEFAULTS: Dict[str, Any] = {
+    "dc": None,
+    "partition": None,
+    "dcs": None,
+    "extra_latency": 0.0,
+    "loss": 0.0,
+    "offset": 0.0,
+}
+
+#: Per action, the target/effect fields it consumes (everything else must
+#: stay at its default or the event is rejected as a likely authoring error).
+_RELEVANT_FIELDS: Dict[str, frozenset] = {
+    "crash": frozenset({"dc", "partition"}),
+    "recover": frozenset({"dc", "partition"}),
+    "partition": frozenset({"dc", "dcs"}),
+    "heal": frozenset({"dcs"}),
+    "restore": frozenset({"dcs"}),
+    "degrade": frozenset({"dcs", "extra_latency", "loss"}),
+    "skew": frozenset({"dc", "partition", "offset"}),
+}
+
+_IRRELEVANT_FIELDS: Dict[str, frozenset] = {
+    action: _ALL_TARGET_FIELDS - relevant for action, relevant in _RELEVANT_FIELDS.items()
+}
+
+_FIELD_HINTS: Dict[str, str] = {
+    "crash": "'dc' + 'partition'",
+    "recover": "'dc' + 'partition'",
+    "partition": "'dcs' (a pair) or 'dc' (isolate)",
+    "heal": "'dcs' or nothing",
+    "restore": "'dcs' or nothing",
+    "degrade": "'dcs' with 'extra_latency' and/or 'loss'",
+    "skew": "'dc' + 'partition' + 'offset'",
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: an action applied to a target at time ``at``."""
+
+    #: Absolute simulated time (seconds) the fault fires at.
+    at: float
+    #: One of :data:`ACTIONS`.
+    action: str
+    #: Target DC (server actions, or ``partition`` meaning *isolate this DC*).
+    dc: Optional[int] = None
+    #: Target partition within ``dc`` (server actions).
+    partition: Optional[int] = None
+    #: Target DC pair (link actions).
+    dcs: Optional[Tuple[int, int]] = None
+    #: Seconds added to every delivery on a degraded link.
+    extra_latency: float = 0.0
+    #: Per-transmission loss probability on a degraded link (in [0, 1)).
+    loss: float = 0.0
+    #: Clock-offset step in seconds (``skew`` only; may be negative).
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultPlanError(f"unknown action {self.action!r}; choose from {ACTIONS}")
+        if self.at < 0:
+            raise FaultPlanError(f"fault time must be non-negative: {self.at}")
+        if self.dcs is not None:
+            object.__setattr__(self, "dcs", tuple(self.dcs))
+            if len(self.dcs) != 2 or self.dcs[0] == self.dcs[1]:
+                raise FaultPlanError(f"dcs must name two distinct DCs: {self.dcs}")
+        if self.action in _SERVER_ACTIONS:
+            if self.dc is None or self.partition is None:
+                raise FaultPlanError(f"{self.action!r} needs both 'dc' and 'partition'")
+        elif self.action == "partition":
+            if (self.dc is None) == (self.dcs is None):
+                raise FaultPlanError("'partition' needs either 'dcs' (a pair) or 'dc' (isolate)")
+        elif self.action in ("heal", "restore"):
+            if self.dc is not None:
+                raise FaultPlanError(f"{self.action!r} takes 'dcs' or nothing, not 'dc'")
+        elif self.action == "degrade":
+            if self.dcs is None:
+                raise FaultPlanError("'degrade' needs 'dcs'")
+            if self.extra_latency <= 0.0 and self.loss <= 0.0:
+                raise FaultPlanError("'degrade' needs extra_latency > 0 and/or loss > 0")
+        if self.extra_latency < 0:
+            raise FaultPlanError(f"extra_latency must be non-negative: {self.extra_latency}")
+        if not 0.0 <= self.loss < 1.0:
+            raise FaultPlanError(f"loss must be in [0, 1): {self.loss}")
+        # Reject fields the action does not use: a "lossy partition" or a
+        # crash with "dcs" would otherwise parse and then silently mean
+        # something different from what the plan author wrote.
+        irrelevant = [
+            name
+            for name in _IRRELEVANT_FIELDS[self.action]
+            if getattr(self, name) != _FIELD_DEFAULTS[name]
+        ]
+        if irrelevant:
+            raise FaultPlanError(
+                f"{self.action!r} does not use field(s) {irrelevant}; "
+                f"it takes {_FIELD_HINTS[self.action]}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A minimal JSON-ready mapping (default-valued fields omitted)."""
+        data: Dict[str, Any] = {"at": self.at, "action": self.action}
+        if self.dc is not None:
+            data["dc"] = self.dc
+        if self.partition is not None:
+            data["partition"] = self.partition
+        if self.dcs is not None:
+            data["dcs"] = list(self.dcs)
+        if self.extra_latency:
+            data["extra_latency"] = self.extra_latency
+        if self.loss:
+            data["loss"] = self.loss
+        if self.offset:
+            data["offset"] = self.offset
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        """Parse one event mapping, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault event must be a mapping, got {type(data).__name__}")
+        known = {"at", "action", "dc", "partition", "dcs", "extra_latency", "loss", "offset"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault event keys: {sorted(unknown)}")
+        missing = {"at", "action"} - set(data)
+        if missing:
+            raise FaultPlanError(f"fault event is missing keys: {sorted(missing)}")
+        kwargs = dict(data)
+        if kwargs.get("dcs") is not None:
+            kwargs["dcs"] = tuple(kwargs["dcs"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        # Stable-sort by firing time so same-time events keep plan order;
+        # the engine then relies on kernel scheduling order for ties.
+        object.__setattr__(self, "events", tuple(sorted(events, key=lambda e: e.at)))
+        self._check_pairing()
+
+    def _check_pairing(self) -> None:
+        """Reject schedules that crash a server twice or recover a live one."""
+        down: set = set()
+        for event in self.events:
+            target = (event.dc, event.partition)
+            if event.action == "crash":
+                if target in down:
+                    raise FaultPlanError(f"server {target} crashed twice without recovery")
+                down.add(target)
+            elif event.action == "recover":
+                if target not in down:
+                    raise FaultPlanError(f"server {target} recovered without a prior crash")
+                down.discard(target)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """The firing time of the last event (0.0 for an empty plan)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def validate_for(self, spec: "ClusterSpec") -> None:
+        """Check every event's target against a concrete deployment."""
+        for event in self.events:
+            for dc in self._target_dcs(event):
+                if not 0 <= dc < spec.n_dcs:
+                    raise FaultPlanError(
+                        f"event at t={event.at}: DC {dc} out of range (deployment has "
+                        f"{spec.n_dcs} DCs)"
+                    )
+            if event.action in _SERVER_ACTIONS:
+                hosted = spec.dc_partitions(event.dc)
+                if event.partition not in hosted:
+                    raise FaultPlanError(
+                        f"event at t={event.at}: DC {event.dc} hosts no replica of "
+                        f"partition {event.partition} (hosted: {hosted})"
+                    )
+
+    @staticmethod
+    def _target_dcs(event: FaultEvent) -> List[int]:
+        targets: List[int] = []
+        if event.dc is not None:
+            targets.append(event.dc)
+        if event.dcs is not None:
+            targets.extend(event.dcs)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready mapping of the whole plan."""
+        data: Dict[str, Any] = {"events": [event.to_dict() for event in self.events]}
+        if self.name:
+            data["name"] = self.name
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the plan to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Parse a plan mapping, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"events", "name"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan keys: {sorted(unknown)}")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise FaultPlanError("'events' must be a list")
+        return cls(
+            events=tuple(FaultEvent.from_dict(event) for event in events),
+            name=data.get("name", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        """Write the plan to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")

@@ -99,6 +99,7 @@ def map_future(future: Future, transform: Callable[[Any], Any]) -> Future:
     mapped = Future()
 
     def on_done(fut: Future) -> None:
+        """Chain the input future's outcome through ``transform``."""
         if fut.exception is not None:
             mapped.fail(fut.exception)
             return
@@ -129,7 +130,9 @@ def all_of(futures: Iterable[Future]) -> Future:
     first_error: List[Optional[BaseException]] = [None]
 
     def make_callback(index: int) -> Callable[[Future], None]:
+        """Bind one input future's slot in the aggregate value list."""
         def callback(fut: Future) -> None:
+            """Record one input's outcome; resolve when all are in."""
             nonlocal remaining
             if fut.exception is not None and first_error[0] is None:
                 first_error[0] = fut.exception

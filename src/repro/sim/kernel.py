@@ -234,6 +234,7 @@ class Simulator:
         cancelled = [False]
 
         def tick() -> None:
+            """One firing: run the callback, then rearm the next interval."""
             if cancelled[0]:
                 return
             callback()
@@ -243,6 +244,7 @@ class Simulator:
         self.post_after(phase + period, tick)
 
         def cancel() -> None:
+            """Stop future firings (an in-flight firing still completes)."""
             cancelled[0] = True
 
         return cancel

@@ -7,7 +7,9 @@ socket)" (Section II-C).  We reproduce that contract:
   individual latency draws are jittered;
 * links never lose messages.  A DC-level network partition *holds* traffic
   (as TCP backpressure/retransmission would) and releases it in order when
-  the partition heals.
+  the partition heals; a *degraded* link (see :meth:`Network.degrade_link`)
+  delivers late — packet loss shows up as retransmission delay, never as a
+  missing message.
 
 :class:`Node` is the base class for every protocol participant (servers and
 clients).  It provides one-way sends, request/response RPC with correlation
@@ -41,6 +43,15 @@ Address = str
 #: Minimum spacing between deliveries on one link, to keep FIFO order strict.
 _FIFO_EPSILON = 1e-9
 
+#: Retransmission timeout charged per lost transmission on a lossy link
+#: (Linux TCP's minimum RTO).  Loss never *drops* an envelope — the channel
+#: contract stays lossless FIFO — it delays it by one RTO per lost attempt.
+RETRANSMIT_TIMEOUT = 0.2
+
+#: Cap on consecutive loss draws per envelope, so a (validated-out) loss
+#: probability approaching 1 cannot stall the simulation.
+_MAX_RETRANSMITS = 64
+
 
 @dataclass(slots=True)
 class Envelope:
@@ -69,6 +80,7 @@ class NetworkMetrics:
     by_type: Dict[str, int] = field(default_factory=dict)
 
     def record(self, payload: Any, inter_dc: bool) -> None:
+        """Count one sent envelope by payload type and DC scope."""
         self.messages_total += 1
         if inter_dc:
             self.messages_inter_dc += 1
@@ -83,11 +95,13 @@ class Network:
         "_sim",
         "_latency",
         "_rng",
+        "_loss_rng",
         "_tracer",
         "_lan_delay",
         "_endpoints",
         "_link_clock",
         "_partitioned",
+        "_degraded",
         "_held",
         "metrics",
     )
@@ -102,6 +116,10 @@ class Network:
         self._sim = sim
         self._latency = latency
         self._rng = rngs.stream("network.jitter")
+        #: Dedicated stream for loss draws on degraded links: drawing from it
+        #: never perturbs jitter (or any other) streams, so a healthy run and
+        #: a faulted run share their trajectory up to the first fault.
+        self._loss_rng = rngs.stream("network.loss")
         self._tracer = tracer if tracer is not None else GLOBAL_TRACER
         #: Constant intra-DC one-way delay used by the untraced fast path
         #: (the LAN base latency is the same for every DC).
@@ -109,6 +127,8 @@ class Network:
         self._endpoints: Dict[Address, _Endpoint] = {}
         self._link_clock: Dict[Tuple[Address, Address], float] = {}
         self._partitioned: set[frozenset[int]] = set()
+        #: Per DC-pair (extra one-way latency, loss probability) overrides.
+        self._degraded: Dict[frozenset[int], Tuple[float, float]] = {}
         self._held: Dict[Tuple[Address, Address], List[Envelope]] = {}
         self.metrics = NetworkMetrics()
 
@@ -189,6 +209,17 @@ class Network:
 
     def _schedule_delivery(self, envelope: Envelope, src_dc: int, dst_dc: int) -> None:
         delay = self._latency.sample(self._rng, src_dc, dst_dc)
+        if self._degraded:
+            degradation = self._degraded.get(frozenset((src_dc, dst_dc)))
+            if degradation is not None:
+                extra, loss = degradation
+                delay += extra
+                if loss > 0.0:
+                    loss_rng = self._loss_rng
+                    for _ in range(_MAX_RETRANSMITS):
+                        if loss_rng.random() >= loss:
+                            break
+                        delay += RETRANSMIT_TIMEOUT
         endpoint = self._endpoints[envelope.dst]
         tracer = self._tracer
         if tracer.enabled:
@@ -227,6 +258,40 @@ class Network:
         else:
             raise ValueError("heal takes either both DC ids or neither")
         self._release_held()
+
+    def degrade_link(
+        self, dc_a: int, dc_b: int, *, extra_latency: float = 0.0, loss: float = 0.0
+    ) -> None:
+        """Degrade the inter-DC link: add latency and/or retransmission loss.
+
+        ``extra_latency`` seconds are added to every one-way delivery between
+        the two DCs; with probability ``loss`` each transmission is lost and
+        retried after :data:`RETRANSMIT_TIMEOUT` (drawn per attempt from the
+        dedicated ``network.loss`` stream).  FIFO order is preserved — a
+        retransmitted envelope still blocks later sends on its link, exactly
+        as TCP head-of-line blocking would.  Intra-DC links cannot be
+        degraded: the fault model targets the WAN.
+        """
+        if dc_a == dc_b:
+            raise ValueError("cannot degrade a DC's intra-DC fabric")
+        if extra_latency < 0:
+            raise ValueError(f"extra_latency must be non-negative: {extra_latency}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss}")
+        self._degraded[frozenset((dc_a, dc_b))] = (extra_latency, loss)
+
+    def restore_link(self, dc_a: Optional[int] = None, dc_b: Optional[int] = None) -> None:
+        """Undo ``degrade_link`` for one pair (or every link, with no args)."""
+        if dc_a is None and dc_b is None:
+            self._degraded.clear()
+        elif dc_a is not None and dc_b is not None:
+            self._degraded.pop(frozenset((dc_a, dc_b)), None)
+        else:
+            raise ValueError("restore_link takes either both DC ids or neither")
+
+    def link_degradation(self, dc_a: int, dc_b: int) -> Tuple[float, float]:
+        """Current ``(extra_latency, loss)`` override for one DC pair."""
+        return self._degraded.get(frozenset((dc_a, dc_b)), (0.0, 0.0))
 
     def is_partitioned(self, dc_a: int, dc_b: int) -> bool:
         """Whether traffic between these DCs is currently blocked."""
@@ -357,6 +422,7 @@ class Node:
 
     def _make_reply(self, envelope: Envelope) -> Callable[[Any], None]:
         def reply(payload: Any) -> None:
+            """Send the RPC response back over the originating link."""
             self.network.send(
                 Envelope(
                     src=self.address,

@@ -40,6 +40,7 @@ class _Chain:
         return keys
 
     def insert(self, version: Version) -> None:
+        """Add one version, keeping the chain ordered by its order key."""
         key = version.order_key()
         keys = self._keys()
         if not keys or key > keys[-1]:
@@ -62,6 +63,7 @@ class _Chain:
         return self.versions[index - 1]
 
     def latest(self) -> Optional[Version]:
+        """The newest version of the chain (None when empty)."""
         return self.versions[-1] if self.versions else None
 
     def collect(self, oldest_snapshot: int) -> int:

@@ -38,6 +38,7 @@ class SessionStats:
 
     @property
     def in_window(self) -> bool:
+        """Whether the measurement window is currently open."""
         return self.meter.window_start is not None and self.meter.window_end is None
 
 

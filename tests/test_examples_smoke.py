@@ -1,0 +1,38 @@
+"""Every script in examples/ must run clean (they rot silently otherwise)."""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py")))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES])
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, script],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"{os.path.basename(script)} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert "Traceback" not in result.stderr

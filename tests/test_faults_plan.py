@@ -1,0 +1,168 @@
+"""FaultPlan / FaultEvent schema: validation, serialisation, file loading."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.faults.plan import ACTIONS, FaultEvent, FaultPlan, FaultPlanError
+
+PLANS_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "plans")
+
+
+class TestFaultEvent:
+    def test_actions_catalogue_is_closed(self):
+        with pytest.raises(FaultPlanError, match="unknown action"):
+            FaultEvent(at=1.0, action="explode", dc=0, partition=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-negative"):
+            FaultEvent(at=-0.1, action="heal")
+
+    @pytest.mark.parametrize("action", ["crash", "recover", "skew"])
+    def test_server_actions_need_dc_and_partition(self, action):
+        with pytest.raises(FaultPlanError, match="'dc' and 'partition'"):
+            FaultEvent(at=1.0, action=action, dc=0)
+
+    def test_partition_needs_exactly_one_target_form(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(at=1.0, action="partition")
+        with pytest.raises(FaultPlanError):
+            FaultEvent(at=1.0, action="partition", dc=0, dcs=(0, 1))
+
+    def test_dcs_must_be_a_distinct_pair(self):
+        with pytest.raises(FaultPlanError, match="distinct"):
+            FaultEvent(at=1.0, action="partition", dcs=(2, 2))
+
+    def test_degrade_needs_an_effect(self):
+        with pytest.raises(FaultPlanError, match="extra_latency"):
+            FaultEvent(at=1.0, action="degrade", dcs=(0, 1))
+
+    def test_loss_range(self):
+        with pytest.raises(FaultPlanError, match="loss"):
+            FaultEvent(at=1.0, action="degrade", dcs=(0, 1), loss=1.0)
+
+    def test_offset_only_for_skew(self):
+        with pytest.raises(FaultPlanError, match="offset"):
+            FaultEvent(at=1.0, action="crash", dc=0, partition=0, offset=0.1)
+
+    def test_irrelevant_fields_rejected_per_action(self):
+        # A "lossy partition" would silently drop its loss: reject it.
+        with pytest.raises(FaultPlanError, match="does not use"):
+            FaultEvent(at=1.0, action="partition", dcs=(0, 1), loss=0.5)
+        with pytest.raises(FaultPlanError, match="does not use"):
+            FaultEvent(at=1.0, action="crash", dc=0, partition=1, dcs=(0, 1))
+        with pytest.raises(FaultPlanError, match="does not use"):
+            FaultEvent(at=1.0, action="heal", dcs=(0, 1), extra_latency=0.1)
+        # dc=0 is a real DC id, not "unset": it must still be rejected.
+        with pytest.raises(FaultPlanError, match="does not use"):
+            FaultEvent(at=1.0, action="degrade", dcs=(1, 2), loss=0.1, dc=0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultPlanError, match="unknown fault event keys"):
+            FaultEvent.from_dict({"at": 1.0, "action": "heal", "frobnicate": True})
+
+    def test_from_dict_rejects_missing_keys(self):
+        with pytest.raises(FaultPlanError, match="missing"):
+            FaultEvent.from_dict({"action": "heal"})
+
+    def test_every_action_roundtrips(self):
+        samples = {
+            "crash": FaultEvent(at=1.0, action="crash", dc=0, partition=1),
+            "recover": FaultEvent(at=2.0, action="recover", dc=0, partition=1),
+            "partition": FaultEvent(at=1.0, action="partition", dcs=(0, 2)),
+            "heal": FaultEvent(at=2.0, action="heal"),
+            "degrade": FaultEvent(
+                at=1.0, action="degrade", dcs=(1, 2), extra_latency=0.05, loss=0.1
+            ),
+            "restore": FaultEvent(at=2.0, action="restore", dcs=(1, 2)),
+            "skew": FaultEvent(at=1.0, action="skew", dc=1, partition=0, offset=-0.002),
+        }
+        assert set(samples) == set(ACTIONS)
+        for event in samples.values():
+            assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time_stably(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=2.0, action="heal"),
+                FaultEvent(at=1.0, action="partition", dcs=(0, 1)),
+                FaultEvent(at=1.0, action="partition", dcs=(1, 2)),
+            )
+        )
+        assert [e.at for e in plan] == [1.0, 1.0, 2.0]
+        # Same-time events keep their plan order.
+        assert plan.events[0].dcs == (0, 1)
+        assert plan.events[1].dcs == (1, 2)
+
+    def test_horizon(self):
+        assert FaultPlan().horizon == 0.0
+        plan = FaultPlan(events=(FaultEvent(at=3.5, action="heal"),))
+        assert plan.horizon == 3.5
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(FaultPlanError, match="crashed twice"):
+            FaultPlan(
+                events=(
+                    FaultEvent(at=1.0, action="crash", dc=0, partition=0),
+                    FaultEvent(at=2.0, action="crash", dc=0, partition=0),
+                )
+            )
+
+    def test_recover_without_crash_rejected(self):
+        with pytest.raises(FaultPlanError, match="without a prior crash"):
+            FaultPlan(events=(FaultEvent(at=1.0, action="recover", dc=0, partition=0),))
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="crash", dc=0, partition=0),
+                FaultEvent(at=2.0, action="recover", dc=0, partition=0),
+                FaultEvent(
+                    at=1.5, action="degrade", dcs=(0, 1), extra_latency=0.01, loss=0.05
+                ),
+            ),
+            name="roundtrip",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="unknown fault plan keys"):
+            FaultPlan.from_json('{"events": [], "extra": 1}')
+
+    def test_validate_for_checks_dc_range(self):
+        spec = ClusterSpec.from_machines(n_dcs=3, machines_per_dc=2, replication_factor=2)
+        plan = FaultPlan(events=(FaultEvent(at=1.0, action="partition", dcs=(0, 7)),))
+        with pytest.raises(FaultPlanError, match="out of range"):
+            plan.validate_for(spec)
+
+    def test_validate_for_checks_replica_placement(self):
+        spec = ClusterSpec.from_machines(n_dcs=3, machines_per_dc=2, replication_factor=2)
+        hosted = spec.dc_partitions(0)
+        missing = next(p for p in range(spec.n_partitions) if p not in hosted)
+        plan = FaultPlan(events=(FaultEvent(at=1.0, action="crash", dc=0, partition=missing),))
+        with pytest.raises(FaultPlanError, match="hosts no replica"):
+            plan.validate_for(spec)
+
+    def test_dump_and_load(self, tmp_path):
+        plan = FaultPlan(
+            events=(FaultEvent(at=1.0, action="partition", dc=2),), name="disk"
+        )
+        path = str(tmp_path / "plan.json")
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+
+
+class TestCommittedPlans:
+    def test_partition_stall_plan_is_valid(self):
+        plan = FaultPlan.load(os.path.join(PLANS_DIR, "partition_stall.json"))
+        spec = ClusterSpec.from_machines(n_dcs=3, machines_per_dc=2, replication_factor=2)
+        plan.validate_for(spec)
+        assert [e.action for e in plan] == ["partition", "heal"]
+        assert plan.name == "partition-stall"
