@@ -12,12 +12,16 @@ Usage:
 
 from __future__ import annotations
 
-import argparse
 import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-RESULTS = ROOT / "bench_results"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import runner  # noqa: E402
+
+RESULTS = ROOT / runner.RESULTS_DIRNAME
 
 #: (results file, section title, the paper's claim, how to read our shape)
 SECTIONS = [
@@ -172,9 +176,13 @@ def _headline_table() -> str:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small")
-    parser.add_argument("--out", default=str(ROOT / "EXPERIMENTS.md"))
+    """Stitch bench_results/ artifacts into EXPERIMENTS.md."""
+    parser = runner.script_parser(
+        __doc__,
+        scales=("small", "medium", "paper"),
+        out_default=str(ROOT / "EXPERIMENTS.md"),
+        out_help="where to write the assembled document",
+    )
     args = parser.parse_args()
 
     missing = [name for name, *_ in SECTIONS if not (RESULTS / f"{name}.txt").exists()]
@@ -186,7 +194,7 @@ def main() -> int:
         "# EXPERIMENTS — paper vs measured\n",
         f"Assembled from `pytest benchmarks/ --benchmark-only` artifacts "
         f"(`bench_results/`), scale `{args.scale}`.  The substrate is the "
-        "deterministic simulation described in DESIGN.md, so absolute numbers "
+        "deterministic simulation described in docs/architecture.md, so absolute numbers "
         "are not comparable to the paper's C++/EC2 testbed; each section "
         "pairs the paper's claim with the measured **shape** (direction, "
         "ratios, crossovers), which every bench also asserts "
@@ -206,7 +214,7 @@ def main() -> int:
         "benchmarks/assemble_experiments.py` (or `python benchmarks/run_all.py` "
         "to re-run everything in one process).\n"
     )
-    pathlib.Path(args.out).write_text("\n".join(parts))
+    runner.write_text(args.out, "\n".join(parts))
     print(f"wrote {args.out}")
     return 0
 

@@ -14,6 +14,7 @@ from repro.bench import report
 
 
 def test_ablation_client_cache(once, emit, scale):
+    """Dropping the write cache must surface read-your-writes violations."""
     rows = once(lambda: exp.ablation_client_cache(scale))
     emit("ablation_cache", report.render_cache_ablation(rows))
     healthy, broken = rows

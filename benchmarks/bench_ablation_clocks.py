@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_ablation_clocks(once, emit, scale):
+    """HLC must keep update visibility fresher than pure logical clocks."""
     rows = once(lambda: exp.ablation_clocks(scale))
     emit("ablation_clocks", report.render_clock_ablation(rows))
     by_mode = {row.mode: row for row in rows}

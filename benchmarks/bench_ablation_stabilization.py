@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_ablation_stabilization(once, emit, scale):
+    """Staleness must grow with the stabilization period; throughput must not."""
     rows = once(lambda: exp.ablation_stabilization(scale))
     emit("ablation_stabilization", report.render_stabilization(rows))
     assert len(rows) >= 3

@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_blocking_time(once, scale, emit):
+    """BPR blocking must be tens of ms and worst on the write-heavy mix."""
     rows = once(lambda: exp.blocking_time(scale))
     emit("blocking_time", report.render_blocking(rows))
     by_mix = {row.mix: row for row in rows}

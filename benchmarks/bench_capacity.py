@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_capacity(once, scale, emit):
+    """Per-DC storage must follow the R/M model on live clusters."""
     rows = once(lambda: exp.capacity_comparison(scale))
     emit("capacity", report.render_capacity(rows))
     partial, full = rows

@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_partition_stall(once, scale, emit):
+    """PaRiS must stay available through the partition; BPR must park."""
     rows = once(lambda: exp.partition_stall(scale))
     emit("fault_partition", report.render_partition_stall(rows))
     by_protocol = {row.protocol: row for row in rows}

@@ -13,6 +13,7 @@ from repro.bench import report
 
 
 def test_figure_1a(once, scale, emit):
+    """PaRiS must dominate BPR on throughput and latency (95:5 mix)."""
     points = once(lambda: exp.figure_1("95:5", scale=scale))
     summary = exp.summarize_figure_1("95:5", points)
     emit(

@@ -13,6 +13,7 @@ from repro.bench import report
 
 
 def test_figure_1b(once, scale, emit):
+    """PaRiS must dominate BPR on throughput and latency (50:50 mix)."""
     points = once(lambda: exp.figure_1("50:50", scale=scale))
     summary = exp.summarize_figure_1("50:50", points)
     emit(

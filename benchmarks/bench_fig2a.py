@@ -13,6 +13,7 @@ from repro.bench import report
 
 
 def test_figure_2a(once, scale, emit):
+    """Saturated throughput must scale near-ideally with machines per DC."""
     points = once(lambda: exp.figure_2a(scale))
     emit("fig2a", report.render_figure_2(points, "2a"))
     ideal = max(scale.fig2a_machines) / min(scale.fig2a_machines)

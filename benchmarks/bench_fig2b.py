@@ -12,6 +12,7 @@ from repro.bench import report
 
 
 def test_figure_2b(once, scale, emit):
+    """Saturated throughput must scale near-ideally with the DC count."""
     points = once(lambda: exp.figure_2b(scale))
     emit("fig2b", report.render_figure_2(points, "2b"))
     ideal = max(scale.fig2b_dcs) / min(scale.fig2b_dcs)

@@ -13,6 +13,7 @@ from repro.bench import report
 
 
 def test_figure_3a(fig3_points, emit, benchmark):
+    """Lower locality must retain most throughput at higher thread counts."""
     points = benchmark.pedantic(lambda: fig3_points, rounds=1, iterations=1)
     emit("fig3a", report.render_figure_3(points))
     by_locality = {p.locality: p for p in points}

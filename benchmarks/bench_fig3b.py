@@ -12,6 +12,7 @@ from repro.bench import report
 
 
 def test_figure_3b(fig3_points, emit, benchmark):
+    """Average latency must grow monotonically as locality drops."""
     points = benchmark.pedantic(lambda: fig3_points, rounds=1, iterations=1)
     emit("fig3b", report.render_figure_3(points))
     latencies = [p.result.latency_mean for p in points]  # descending locality

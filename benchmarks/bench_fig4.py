@@ -16,6 +16,7 @@ from repro.sim.latency import LatencyModel
 
 
 def test_figure_4(once, scale, emit):
+    """BPR's visibility CDF must sit left of (fresher than) PaRiS's."""
     results = once(lambda: exp.figure_4(scale))
     emit("fig4", report.render_figure_4(results))
     by_protocol = {r.protocol: r.result for r in results}

@@ -23,8 +23,6 @@ gate a run against it with ``PYTHONPATH=src python -m repro.bench.perfgate``.
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import time
@@ -33,6 +31,7 @@ from typing import Callable, Dict, Optional, Tuple
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro import build_cluster, small_test_config  # noqa: E402
+from repro.bench import runner  # noqa: E402
 from repro.core.messages import ReplicatedTx, ReplicateMsg  # noqa: E402
 from repro.sim.kernel import Simulator  # noqa: E402
 from repro.sim.latency import LatencyModel  # noqa: E402
@@ -70,6 +69,7 @@ def bench_event_dispatch(n: int) -> Tuple[int, float]:
     remaining = [n - half]
 
     def chain() -> None:
+        """Re-post itself until the live half of the budget is burned."""
         remaining[0] -= 1
         if remaining[0] > 0:
             schedule(0.0005, chain)
@@ -86,12 +86,16 @@ class _Pinger(Node):
     """Drives ``rounds`` sequential RPC round trips against an echo peer."""
 
     def run(self, dst: str, rounds: int):
+        """Issue ``rounds`` sequential requests, awaiting each reply."""
         for i in range(rounds):
             yield self.request(dst, ("ping", i))
 
 
 class _EchoServer(Node):
+    """Replies to every inbound message with the message itself."""
+
     def handle_tuple(self, src, msg, reply) -> None:
+        """Echo ``msg`` straight back to the sender."""
         reply(msg)
 
 
@@ -154,10 +158,12 @@ def bench_ust_round(sim_ms: int) -> Tuple[int, float]:
 
 
 def _noop() -> None:
+    """Do nothing (the cheapest possible event callback)."""
     return None
 
 
 def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Run every metric ``repeats`` times and keep each metric's best rate."""
     params = SCALES[scale]
     suite: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
         "event_dispatch": (
@@ -198,8 +204,10 @@ def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
 
 
 def main(argv: Optional[list] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--scale", choices=sorted(SCALES), default="full")
+    """Run the microbenchmark suite; optionally persist a baseline JSON."""
+    parser = runner.script_parser(
+        __doc__.split("\n", 1)[0], scales=sorted(SCALES), default_scale="full"
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=None, help="write JSON results to this path")
     args = parser.parse_args(argv)
@@ -212,8 +220,7 @@ def main(argv: Optional[list] = None) -> int:
         "metrics": metrics,
     }
     if args.out:
-        path = pathlib.Path(args.out)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        path = runner.write_json(args.out, document)
         print(f"wrote {path}")
     return 0
 

@@ -15,6 +15,7 @@ from repro.bench import report
 
 
 def test_propagation_cost(once, scale, emit):
+    """Inter-DC traffic per commit must grow with the replication factor."""
     rows = once(lambda: exp.propagation_cost(scale))
     emit("propagation", report.render_propagation(rows))
     by_rf = {row.replication_factor: row for row in rows}

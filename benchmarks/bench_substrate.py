@@ -22,10 +22,12 @@ def test_kernel_event_throughput(benchmark):
     """Schedule-and-fire cost of 10k chained events."""
 
     def run():
+        """Fire 10k self-rescheduling timer events."""
         sim = Simulator()
         count = [0]
 
         def tick():
+            """Count one firing and reschedule until 10k."""
             count[0] += 1
             if count[0] < 10_000:
                 sim.call_after(0.001, tick)
@@ -41,9 +43,11 @@ def test_kernel_process_switching(benchmark):
     """Cost of suspending/resuming generator processes."""
 
     def run():
+        """Drive 10 generator processes of 1k yields each."""
         sim = Simulator()
 
         def proc():
+            """Yield a 1 ms sleep one thousand times."""
             for _ in range(1_000):
                 yield 0.001
 
@@ -59,6 +63,7 @@ def test_mvstore_apply_and_read(benchmark):
     """Mixed insert + snapshot-read workload on one store."""
 
     def run():
+        """Apply 5k writes interleaved with snapshot reads."""
         store = MultiVersionStore()
         for i in range(200):
             store.preload(f"k{i}", "init")
@@ -77,6 +82,7 @@ def test_hlc_generation(benchmark):
     """Raw HLC now()/update() cost."""
 
     def run():
+        """Alternate HLC update() and now() calls 10k times."""
         sim = Simulator()
         hlc = HybridLogicalClock(PhysicalClock(sim))
         last = 0
@@ -92,6 +98,7 @@ def test_zipfian_sampling(benchmark):
     gen = ZipfianGenerator(10_000, theta=0.99)
 
     def run():
+        """Draw 10k zipfian samples from a fixed-seed RNG."""
         rng = random.Random(7)
         return sum(gen.sample(rng) for _ in range(10_000))
 

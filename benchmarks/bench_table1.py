@@ -12,6 +12,7 @@ from repro.bench import report
 
 
 def test_table_1(once, emit):
+    """Table I must single out PaRiS as the only full-support system."""
     text = once(lambda: report.render_table_1())
     emit("table1", text)
     assert report.unique_full_support() == ["PaRiS (this work)"]

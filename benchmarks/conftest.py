@@ -3,7 +3,8 @@
 Every ``bench_*`` module regenerates one table or figure of the paper at the
 scale selected by ``REPRO_BENCH_SCALE`` (small | medium | paper; default
 small).  Rendered tables are printed (visible with ``-s``) and written to
-``bench_results/`` so EXPERIMENTS.md can be assembled from a run.
+``bench_results/`` (via :mod:`repro.bench.runner`) so EXPERIMENTS.md can be
+assembled from a run.
 """
 
 from __future__ import annotations
@@ -13,8 +14,9 @@ import pathlib
 import pytest
 
 from repro.bench import experiments as exp
+from repro.bench import runner
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / runner.RESULTS_DIRNAME
 
 
 @pytest.fixture(scope="session")
@@ -28,8 +30,8 @@ def emit():
     """Print a rendered report and persist it under bench_results/."""
 
     def _emit(name: str, text: str) -> str:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        """Write one artifact atomically, echo it, and return it."""
+        runner.emit_text(RESULTS_DIR, name, text)
         print(f"\n{text}\n")
         return text
 
@@ -51,6 +53,7 @@ def once(benchmark):
     """
 
     def _once(fn):
+        """Execute ``fn`` once and return its result."""
         return benchmark.pedantic(fn, rounds=1, iterations=1)
 
     return _once

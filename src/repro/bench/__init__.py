@@ -1,4 +1,4 @@
-"""Benchmark harness: experiment construction, execution and reporting."""
+"""Benchmark harness: experiment construction, execution, sweeps, reporting."""
 
 from .harness import (
     PROTOCOLS,
@@ -9,13 +9,19 @@ from .harness import (
     run_experiment,
     summarize,
 )
+from .sweep import RunSpec, SweepSpec, SweepSpecError, execute_sweep, expand
 
 __all__ = [
     "PROTOCOLS",
     "Cluster",
     "ExperimentResult",
+    "RunSpec",
+    "SweepSpec",
+    "SweepSpecError",
     "build_cluster",
     "deploy_sessions",
+    "execute_sweep",
+    "expand",
     "run_experiment",
     "summarize",
 ]

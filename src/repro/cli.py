@@ -10,6 +10,8 @@ Commands
               ``--faults``.
 ``chaos``     Generate (or load) a fault schedule, run a workload under it,
               and verify consistency survived.
+``sweep``     Execute a declarative experiment grid (JSON spec) across worker
+              processes, with resumable content-addressed caching.
 ``topology``  Describe a deployment's placement and capacity.
 ``figure``    Regenerate one of the paper's figures/tables.
 """
@@ -17,12 +19,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from dataclasses import replace
+import time
 from typing import Optional, Sequence
 
 from .bench import experiments as exp
-from .bench import report
+from .bench import report, results, sweep
 from .bench.harness import ExperimentResult, run_experiment
 from .cluster.topology import ClusterSpec
 from .config import SimulationConfig
@@ -90,6 +93,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for plan generation (default: --seed)",
     )
 
+    sweep_cmd = commands.add_parser(
+        "sweep", help="run a declarative experiment grid (resumable, parallel)"
+    )
+    sweep_cmd.add_argument("spec", help="sweep spec JSON (see docs/experiments.md)")
+    sweep_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are identical at any worker count)",
+    )
+    sweep_cmd.add_argument(
+        "--results-dir", default="sweep_results",
+        help="cache/summary root (default: sweep_results/)",
+    )
+    sweep_cmd.add_argument(
+        "--out", default=None,
+        help="summary path (default: <results-dir>/<name>/summary.json)",
+    )
+    sweep_cmd.add_argument(
+        "--force", action="store_true", help="re-execute runs even when cached"
+    )
+    sweep_cmd.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="print the expanded run list and exit without executing",
+    )
+
     topology_cmd = commands.add_parser("topology", help="describe a deployment")
     topology_cmd.add_argument("--dcs", type=int, default=5)
     topology_cmd.add_argument("--machines", type=int, default=18)
@@ -126,29 +153,26 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
 
 
 def config_from_args(args: argparse.Namespace) -> SimulationConfig:
-    """Translate CLI arguments into a simulation configuration."""
-    cluster = ClusterSpec.from_machines(
-        n_dcs=args.dcs, machines_per_dc=args.machines, replication_factor=args.rf
-    )
-    workload = exp.mix_workload(args.mix)
-    workload = replace(
-        workload,
-        locality=args.locality,
-        keys_per_partition=args.keys,
-        threads_per_client=args.threads,
-        partitions_per_tx=min(4, args.machines),
-    )
-    faults = None
-    if getattr(args, "faults", None):
-        faults = FaultPlan.load(args.faults)
-    return SimulationConfig(
-        cluster=cluster,
-        workload=workload,
-        seed=args.seed,
-        warmup=args.warmup,
-        duration=args.duration,
-        faults=faults,
-    )
+    """Translate CLI arguments into a simulation configuration.
+
+    Delegates to :func:`repro.bench.sweep.config_from_params` so the CLI and
+    sweep specs share one flat-parameter-to-config translation.
+    """
+    params = {
+        "dcs": args.dcs,
+        "machines": args.machines,
+        "rf": args.rf,
+        "threads": args.threads,
+        "mix": args.mix,
+        "locality": args.locality,
+        "keys": args.keys,
+        "warmup": args.warmup,
+        "duration": args.duration,
+        "seed": args.seed,
+        "faults": getattr(args, "faults", None) or None,
+    }
+    config, _ = sweep.config_from_params(params)
+    return config
 
 
 def format_result(result: ExperimentResult) -> str:
@@ -265,6 +289,57 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: execute a declarative experiment grid, then aggregate.
+
+    Completed runs are cached content-addressed under ``--results-dir`` and
+    reused on re-invocation, so an interrupted sweep resumes where it
+    stopped; the aggregated summary is byte-identical at any worker count.
+    """
+    spec = sweep.SweepSpec.load(args.spec)
+    runs = sweep.expand(spec)
+    print(
+        f"sweep '{spec.name}': {len(runs)} runs over "
+        + " x ".join(sweep.iter_axes_summary(spec))
+    )
+    if args.list_runs:
+        for run in runs:
+            print(f"  [{run.index + 1:3d}/{len(runs)}] {run.key[:12]}  {run.label()}")
+        return 0
+
+    total = len(runs)
+    started = time.monotonic()
+
+    def progress(status: str, run: sweep.RunSpec) -> None:
+        """Print one run's cache/execution status as it is known."""
+        print(f"  {status:<8} {run.key[:12]}  {run.label()}", flush=True)
+
+    report_ = sweep.execute_sweep(
+        spec,
+        args.results_dir,
+        workers=args.workers,
+        force=args.force,
+        progress=progress,
+    )
+    summary = results.aggregate(report_.records, spec=spec)
+    out = (
+        pathlib.Path(args.out)
+        if args.out
+        else sweep.sweep_dir(args.results_dir, spec) / "summary.json"
+    )
+    results.dump_summary(summary, out)
+    elapsed = time.monotonic() - started
+    print(
+        f"{total} runs: {len(report_.cached)} cached, "
+        f"{len(report_.executed)} executed "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''}, {elapsed:.1f}s)"
+    )
+    print(f"summary ({len(summary['groups'])} groups): {out}")
+    print()
+    print(results.render_summary_table(summary))
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     """``repro topology``: placement and storage footprint of a deployment."""
     spec = ClusterSpec.from_machines(
@@ -324,6 +399,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "check": cmd_check,
     "chaos": cmd_chaos,
+    "sweep": cmd_sweep,
     "topology": cmd_topology,
     "figure": cmd_figure,
 }

@@ -105,3 +105,82 @@ class TestJsonOutput:
         data = json.loads(result.to_json())
         assert data["transactions_measured"] == result.transactions_measured
         assert data["visibility_cdf"][0]["fraction"] == 0.0
+
+
+class TestSweepCommand:
+    SPEC = {
+        "name": "cli-sweep",
+        "seed": 42,
+        "repeats": 1,
+        "base": {
+            "dcs": 3,
+            "machines": 2,
+            "threads": 1,
+            "keys": 20,
+            "warmup": 0.2,
+            "duration": 0.3,
+        },
+        "axes": {"locality": [1.0, 0.5]},
+    }
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_list_expands_without_executing(self, spec_path, tmp_path, capsys):
+        results_dir = tmp_path / "sweeps"
+        assert (
+            cli.main(["sweep", spec_path, "--list", "--results-dir", str(results_dir)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "locality=0.5" in out
+        assert not results_dir.exists()
+
+    def test_execute_then_resume_all_cached(self, spec_path, tmp_path, capsys):
+        import json
+
+        results_dir = str(tmp_path / "sweeps")
+        assert cli.main(["sweep", spec_path, "--results-dir", results_dir]) == 0
+        first = capsys.readouterr().out
+        assert "2 executed" in first
+        summary_path = tmp_path / "sweeps" / "cli-sweep" / "summary.json"
+        summary = json.loads(summary_path.read_text())
+        assert summary["name"] == "cli-sweep"
+        assert len(summary["groups"]) == 2
+        # Second invocation: every run is a cache hit, summary unchanged.
+        before = summary_path.read_bytes()
+        assert cli.main(["sweep", spec_path, "--results-dir", results_dir]) == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 executed" in second
+        assert summary_path.read_bytes() == before
+
+    def test_out_flag_redirects_summary(self, spec_path, tmp_path, capsys):
+        out_path = tmp_path / "elsewhere.json"
+        assert (
+            cli.main(
+                [
+                    "sweep",
+                    spec_path,
+                    "--results-dir",
+                    str(tmp_path / "sweeps"),
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert out_path.exists()
+
+    def test_bad_spec_raises_clean_error(self, tmp_path):
+        from repro.bench.sweep import SweepSpecError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "axes": {"volume": [11]}}')
+        with pytest.raises(SweepSpecError, match="unknown axis"):
+            cli.main(["sweep", str(bad)])

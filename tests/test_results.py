@@ -1,0 +1,119 @@
+"""Aggregation of sweep run records into statistical summaries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import results
+from repro.bench.results import aggregate, summarize_values
+from repro.bench.sweep import SweepSpec
+
+
+def record(seed: int, throughput: float, **params):
+    """A minimal run record the way the sweep cache stores it."""
+    full_params = {"protocol": "paris", "locality": 1.0, "seed": seed, **params}
+    return {
+        "key": f"k{seed}-{sorted(params.items())}",
+        "params": full_params,
+        "result": {
+            "protocol": "paris",
+            "throughput": throughput,
+            "latency_mean": throughput / 1e6,
+            "transactions_measured": int(throughput),
+            "visibility_cdf": [{"seconds": 0.1, "fraction": 1.0}],
+        },
+    }
+
+
+class TestSummarizeValues:
+    def test_single_value(self):
+        stats = summarize_values([10.0])
+        assert stats["mean"] == 10.0
+        assert stats["median"] == 10.0
+        assert stats["std"] == 0.0
+        assert stats["ci95"] == 0.0
+        assert stats["min"] == stats["max"] == 10.0
+
+    def test_known_sample(self):
+        values = [2.0, 4.0, 6.0]
+        stats = summarize_values(values)
+        assert stats["mean"] == pytest.approx(4.0)
+        assert stats["median"] == pytest.approx(4.0)
+        assert stats["std"] == pytest.approx(2.0)
+        assert stats["ci95"] == pytest.approx(1.96 * 2.0 / math.sqrt(3))
+        assert stats["min"] == 2.0
+        assert stats["max"] == 6.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_values([])
+
+
+class TestAggregate:
+    def test_groups_by_params_minus_seed(self):
+        records = [
+            record(1, 100.0),
+            record(2, 200.0),
+            record(3, 50.0, locality=0.5),
+        ]
+        summary = aggregate(records)
+        assert summary["total_runs"] == 3
+        assert len(summary["groups"]) == 2
+        first = summary["groups"][0]
+        assert first["repeats"] == 2
+        assert first["seeds"] == [1, 2]
+        assert "seed" not in first["params"]
+        assert first["metrics"]["throughput"]["mean"] == pytest.approx(150.0)
+
+    def test_group_order_is_first_appearance(self):
+        records = [record(1, 1.0, locality=0.5), record(1, 2.0, locality=1.0)]
+        summary = aggregate(records)
+        assert [g["params"]["locality"] for g in summary["groups"]] == [0.5, 1.0]
+
+    def test_non_numeric_and_curve_fields_excluded(self):
+        summary = aggregate([record(1, 100.0)])
+        metrics = summary["groups"][0]["metrics"]
+        assert "protocol" not in metrics
+        assert "visibility_cdf" not in metrics
+        assert metrics["transactions_measured"]["mean"] == 100.0
+
+    def test_spec_header_fields(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "agg",
+                "description": "desc",
+                "base": {"threads": 1},
+                "axes": {"locality": [1.0, 0.5]},
+                "repeats": 2,
+                "seed": 9,
+            }
+        )
+        summary = aggregate([record(1, 1.0)], spec=spec)
+        assert summary["name"] == "agg"
+        assert summary["description"] == "desc"
+        assert summary["axes"] == {"locality": [1.0, 0.5]}
+        assert summary["repeats"] == 2
+        assert summary["root_seed"] == 9
+
+    def test_dump_summary_is_deterministic(self, tmp_path):
+        records = [record(2, 200.0), record(1, 100.0)]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        results.dump_summary(aggregate(records), a)
+        results.dump_summary(aggregate(records), b)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text().endswith("\n")
+
+
+class TestRenderSummaryTable:
+    def test_varying_params_become_columns(self):
+        records = [record(1, 100.0), record(1, 50.0, locality=0.5)]
+        table = results.render_summary_table(aggregate(records))
+        assert "locality" in table.splitlines()[0]
+        assert "throughput mean" in table.splitlines()[0]
+        assert "100.0" in table
+
+    def test_metric_missing_from_groups_renders_empty(self):
+        table = results.render_summary_table(aggregate([record(1, 1.0)]), metric="nope")
+        assert "nope mean" in table.splitlines()[0]
