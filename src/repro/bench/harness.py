@@ -189,6 +189,12 @@ def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver
     spec = cluster.spec
     workload = cluster.config.workload
     drivers: List[SessionDriver] = []
+    sim = cluster.sim
+
+    def clock() -> float:
+        """Simulated time feed for time-dependent key distributions."""
+        return sim.now
+
     for dc_id in range(spec.n_dcs):
         for partition in spec.dc_partitions(dc_id):
             for thread in range(workload.threads_per_client):
@@ -198,6 +204,7 @@ def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver
                     workload,
                     dc_id,
                     cluster.rngs.stream(f"workload.d{dc_id}.p{partition}.t{thread}"),
+                    clock=clock,
                 )
                 driver = SessionDriver(client, generator, stats)
                 drivers.append(driver)

@@ -21,8 +21,9 @@ example specs are documented in docs/experiments.md; run one with
 ``python -m repro sweep examples/sweeps/locality.json --workers 4``.
 
 Run parameters mirror the flags of ``repro run`` (``dcs``, ``machines``,
-``rf``, ``threads``, ``mix``, ``locality``, ``keys``, ``warmup``,
-``duration``, ``protocol``, ``faults``, ...); :func:`config_from_params` is
+``rf``, ``threads``, ``mix``, ``workload``, ``locality``, ``keys``,
+``warmup``, ``duration``, ``protocol``, ``faults``, ...);
+:func:`config_from_params` is
 the single translation point from flat parameters to a
 :class:`repro.config.SimulationConfig`, shared with the CLI.
 """
@@ -49,15 +50,20 @@ from typing import (
 from ..cluster.topology import ClusterSpec
 from ..config import SimulationConfig
 from ..faults.plan import FaultPlan, FaultPlanError
+from ..workload.profiles import get_profile
 from . import runner
 from .harness import PROTOCOLS, run_experiment
 
 #: Bumped whenever run semantics change incompatibly: a new version makes
 #: every previously cached result a miss instead of silently reusing it.
-CACHE_VERSION = 1
+#: v2: the ``workload`` profile parameter joined the run-parameter namespace.
+CACHE_VERSION = 2
 
 #: Run parameters and their defaults (mirroring ``repro run``'s flags).
 #: ``partitions_per_tx=None`` means "min(4, machines)", the CLI's behaviour.
+#: ``workload=None`` means "no profile": the mix alone shapes the workload;
+#: a profile name (see repro.workload.profiles) overrides the mix/skew and
+#: selects key/value distributions and the arrival schedule.
 PARAM_DEFAULTS: Dict[str, Any] = {
     "protocol": "paris",
     "dcs": 3,
@@ -65,6 +71,7 @@ PARAM_DEFAULTS: Dict[str, Any] = {
     "rf": 2,
     "threads": 4,
     "mix": "95:5",
+    "workload": None,
     "locality": 0.95,
     "keys": 100,
     "partitions_per_tx": None,
@@ -160,6 +167,9 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
         threads_per_client=merged["threads"],
         partitions_per_tx=partitions_per_tx,
     )
+    profile_name = merged["workload"]
+    if profile_name is not None:
+        workload = _resolve_profile(profile_name).apply(workload)
     config = SimulationConfig(
         cluster=cluster,
         workload=workload,
@@ -380,9 +390,30 @@ def derive_seed(root: int, params: Mapping[str, Any], repeat: int) -> int:
     return int.from_bytes(digest[:8], "big") % (2**31 - 1)
 
 
+def _resolve_profile(name: str):
+    """Look up a workload profile, mapping unknown names to SweepSpecError."""
+    try:
+        return get_profile(name)
+    except KeyError as exc:
+        raise SweepSpecError(exc.args[0]) from None
+
+
 def run_key(params: Mapping[str, Any]) -> str:
-    """The content-addressed cache key of one fully resolved run."""
-    blob = canonical_json({"v": CACHE_VERSION, "params": dict(params)})
+    """The content-addressed cache key of one fully resolved run.
+
+    The effective ``workload`` profile contributes its full resolved
+    *definition*, not just its name — the same policy as inlined fault
+    plans — so editing a registered profile's parameters invalidates every
+    cached run that used it instead of silently reusing stale results.
+    Profile-less runs (``workload=None``) still resolve behaviour from the
+    registered ``default`` profile, so they hash that definition.
+    """
+    from dataclasses import asdict
+
+    blob_data: Dict[str, Any] = {"v": CACHE_VERSION, "params": dict(params)}
+    effective_profile = params.get("workload") or "default"
+    blob_data["workload_def"] = asdict(_resolve_profile(effective_profile))
+    blob = canonical_json(blob_data)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -12,6 +12,8 @@ Commands
               and verify consistency survived.
 ``sweep``     Execute a declarative experiment grid (JSON spec) across worker
               processes, with resumable content-addressed caching.
+``profiles``  List the registered workload profiles (``--workload`` values
+              and the ``workload`` sweep axis; see docs/workloads.md).
 ``topology``  Describe a deployment's placement and capacity.
 ``figure``    Regenerate one of the paper's figures/tables.
 """
@@ -117,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the expanded run list and exit without executing",
     )
 
+    profiles_cmd = commands.add_parser(
+        "profiles", help="list registered workload profiles"
+    )
+    profiles_cmd.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare profile names, one per line (for scripting/CI)",
+    )
+
     topology_cmd = commands.add_parser("topology", help="describe a deployment")
     topology_cmd.add_argument("--dcs", type=int, default=5)
     topology_cmd.add_argument("--machines", type=int, default=18)
@@ -145,6 +156,12 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rf", type=int, default=2, help="replication factor")
     parser.add_argument("--threads", type=int, default=4, help="threads per client")
     parser.add_argument("--mix", choices=("95:5", "50:50"), default="95:5")
+    parser.add_argument(
+        "--workload",
+        metavar="PROFILE",
+        default=None,
+        help="named workload profile overriding --mix (see 'repro profiles')",
+    )
     parser.add_argument("--locality", type=float, default=0.95)
     parser.add_argument("--keys", type=int, default=100, help="keys per partition")
     parser.add_argument("--warmup", type=float, default=1.0, help="simulated seconds")
@@ -164,6 +181,7 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
         "rf": args.rf,
         "threads": args.threads,
         "mix": args.mix,
+        "workload": getattr(args, "workload", None),
         "locality": args.locality,
         "keys": args.keys,
         "warmup": args.warmup,
@@ -340,6 +358,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profiles(args: argparse.Namespace) -> int:
+    """``repro profiles``: the registered workload-profile catalogue."""
+    from .workload.profiles import all_profiles
+
+    profiles = all_profiles()
+    if args.names:
+        for profile in profiles:
+            print(profile.name)
+        return 0
+    rows = [
+        (
+            profile.name,
+            profile.mix,
+            profile.key_dist + ("+rmw" if profile.rmw else ""),
+            profile.arrival.kind,
+            profile.description,
+        )
+        for profile in profiles
+    ]
+    print(
+        report.format_table(
+            ["profile", "mix", "keys", "arrival", "description"], rows
+        )
+    )
+    print(
+        f"\n{len(profiles)} profiles; use 'repro run --workload NAME' or a "
+        'sweep axis "workload": [...] (docs/workloads.md)'
+    )
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     """``repro topology``: placement and storage footprint of a deployment."""
     spec = ClusterSpec.from_machines(
@@ -400,6 +449,7 @@ _COMMANDS = {
     "check": cmd_check,
     "chaos": cmd_chaos,
     "sweep": cmd_sweep,
+    "profiles": cmd_profiles,
     "topology": cmd_topology,
     "figure": cmd_figure,
 }

@@ -118,6 +118,13 @@ class WorkloadConfig:
     value_size: int = 8
     #: Closed-loop threads per client process (one process per server).
     threads_per_client: int = 4
+    #: Named workload profile (see repro.workload.profiles).  ``"default"``
+    #: reproduces the pre-profile behaviour: static zipfian keys, constant
+    #: value size, closed-loop arrivals, mix taken from the fields above.
+    #: Other profiles additionally select key distributions (latest-biased,
+    #: shifting hotspot), RMW semantics, value-size distributions, and
+    #: arrival schedules, resolved by name at generator construction.
+    profile: str = "default"
 
     def __post_init__(self) -> None:
         if self.reads_per_tx < 0 or self.writes_per_tx < 0:
@@ -134,6 +141,15 @@ class WorkloadConfig:
             raise ValueError("keys_per_partition must be >= 1")
         if self.threads_per_client < 1:
             raise ValueError("threads_per_client must be >= 1")
+        # Late import: profiles only needs dataclasses, so there is no cycle,
+        # but keeping it out of module scope lets config load first.
+        from .workload.profiles import is_registered, profile_names
+
+        if not is_registered(self.profile):
+            raise ValueError(
+                f"unknown workload profile {self.profile!r}; "
+                f"registered: {profile_names()}"
+            )
 
     @classmethod
     def read_heavy(cls, **overrides) -> "WorkloadConfig":

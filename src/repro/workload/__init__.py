@@ -1,17 +1,42 @@
-"""Workload substrate: YCSB-style generators and closed-loop sessions."""
+"""Workload substrate: profiles, YCSB-style generators, paced sessions."""
 
 from .generator import TransactionSpec, WorkloadGenerator, dataset_keys, key_name
+from .profiles import (
+    ArrivalSchedule,
+    ValueSizeDist,
+    WorkloadProfile,
+    all_profiles,
+    get_profile,
+    is_registered,
+    profile_names,
+    register,
+)
 from .runner import SessionDriver, SessionStats, run_transaction
-from .zipfian import UniformGenerator, ZipfianGenerator
+from .zipfian import (
+    LatestBiasedGenerator,
+    ShiftingHotspotGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
 
 __all__ = [
+    "ArrivalSchedule",
+    "LatestBiasedGenerator",
     "SessionDriver",
     "SessionStats",
+    "ShiftingHotspotGenerator",
     "TransactionSpec",
     "UniformGenerator",
+    "ValueSizeDist",
     "WorkloadGenerator",
+    "WorkloadProfile",
     "ZipfianGenerator",
+    "all_profiles",
     "dataset_keys",
+    "get_profile",
+    "is_registered",
     "key_name",
+    "profile_names",
+    "register",
     "run_transaction",
 ]

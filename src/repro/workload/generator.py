@@ -1,22 +1,35 @@
-"""Transaction mix generator (Section V-A workloads).
+"""Transaction mix generator (Section V-A workloads, profile-driven).
 
 Every transaction performs ``reads_per_tx + writes_per_tx`` operations over
 ``partitions_per_tx`` distinct partitions.  With probability ``locality`` a
 transaction is *local-DC* — it only touches partitions replicated in the
 client's DC — otherwise it is *multi-DC* and draws partitions from the whole
-keyspace.  Operations are spread round-robin over the chosen partitions and
-keys are drawn zipfian within each partition.
+keyspace.  Operations are spread round-robin over the chosen partitions.
+
+*How* keys and values are drawn is decided by the workload's named profile
+(:mod:`repro.workload.profiles`): key ranks come from a static zipfian (the
+paper's default), uniform, latest-biased (YCSB-D), or shifting-hotspot
+distribution; write values carry a constant, uniform, or bimodal payload
+size; and read-modify-write profiles (YCSB-F) write back to the keys they
+just read, so the written versions causally depend on the read versions all
+the way through the consistency oracle.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster.topology import ClusterSpec
 from ..config import WorkloadConfig
-from .zipfian import UniformGenerator, ZipfianGenerator
+from .profiles import WorkloadProfile, get_profile
+from .zipfian import (
+    LatestBiasedGenerator,
+    ShiftingHotspotGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
 
 
 def key_name(partition: int, rank: int) -> str:
@@ -34,8 +47,36 @@ class TransactionSpec:
     is_local: bool
 
 
+def _make_key_generator(
+    profile: WorkloadProfile, workload: WorkloadConfig, clock: Callable[[], float]
+):
+    """Instantiate the rank distribution the profile asks for."""
+    n = workload.keys_per_partition
+    kind = profile.key_dist
+    if kind == "uniform" or (kind == "zipfian" and workload.zipf_theta <= 0.0):
+        return UniformGenerator(n)
+    if kind == "zipfian":
+        return ZipfianGenerator(n, workload.zipf_theta)
+    if kind == "latest":
+        return LatestBiasedGenerator(n, workload.zipf_theta)
+    if kind == "hotspot":
+        return ShiftingHotspotGenerator(
+            n,
+            workload.zipf_theta,
+            profile.hotspot_interval,
+            profile.hotspot_step,
+            clock,
+        )
+    raise ValueError(f"unknown key distribution {kind!r}")  # pragma: no cover
+
+
 class WorkloadGenerator:
-    """Generates the transaction stream for clients of one DC."""
+    """Generates the transaction stream for clients of one DC.
+
+    ``clock`` supplies the simulated time to time-dependent distributions
+    (the shifting hotspot); it defaults to a frozen clock so generators can
+    be used standalone in tests.
+    """
 
     def __init__(
         self,
@@ -43,17 +84,18 @@ class WorkloadGenerator:
         workload: WorkloadConfig,
         dc_id: int,
         rng: random.Random,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.spec = spec
         self.workload = workload
         self.dc_id = dc_id
+        self.profile = get_profile(workload.profile)
         self._rng = rng
+        self._clock = clock if clock is not None else lambda: 0.0
         self._local_partitions = spec.dc_partitions(dc_id)
         self._all_partitions = list(range(spec.n_partitions))
-        if workload.zipf_theta > 0.0:
-            self._key_gen = ZipfianGenerator(workload.keys_per_partition, workload.zipf_theta)
-        else:
-            self._key_gen = UniformGenerator(workload.keys_per_partition)
+        self._key_gen = _make_key_generator(self.profile, workload, self._clock)
+        self._values = self.profile.values
         self._payload = "v" * workload.value_size
         self._sequence = 0
 
@@ -66,7 +108,7 @@ class WorkloadGenerator:
         reads = tuple(
             self._pick_key(partitions[i % count]) for i in range(self.workload.reads_per_tx)
         )
-        writes = self._pick_writes(partitions, count)
+        writes = self._pick_writes(partitions, count, reads)
         self._sequence += 1
         return TransactionSpec(
             reads=reads,
@@ -79,11 +121,34 @@ class WorkloadGenerator:
         rank = self._key_gen.sample(self._rng)
         return key_name(partition, rank)
 
-    def _pick_writes(self, partitions: List[int], count: int) -> Tuple[Tuple[str, str], ...]:
+    def _write_key(self, partition: int) -> str:
+        """The key of one write: an 'insert' under the latest distribution."""
+        if isinstance(self._key_gen, LatestBiasedGenerator):
+            return key_name(partition, self._key_gen.next_insert())
+        return self._pick_key(partition)
+
+    def _value(self, index: int) -> str:
+        """One write's payload (size drawn from the profile's distribution)."""
+        if self._values is None:
+            payload = self._payload
+        else:
+            payload = "v" * self._values.sample(self._rng)
+        return f"{payload}:{self._sequence}:{index}"
+
+    def _pick_writes(
+        self, partitions: List[int], count: int, reads: Tuple[str, ...]
+    ) -> Tuple[Tuple[str, str], ...]:
         writes: Dict[str, str] = {}
-        for i in range(self.workload.writes_per_tx):
-            key = self._pick_key(partitions[i % count])
-            writes[key] = f"{self._payload}:{self._sequence}:{i}"
+        if self.profile.rmw and reads:
+            # Read-modify-write: update the first writes_per_tx distinct keys
+            # the transaction just read (fewer if reads deduplicated).
+            targets = list(dict.fromkeys(reads))[: self.workload.writes_per_tx]
+            for i, key in enumerate(targets):
+                writes[key] = self._value(i)
+        else:
+            for i in range(self.workload.writes_per_tx):
+                key = self._write_key(partitions[i % count])
+                writes[key] = self._value(i)
         return tuple(writes.items())
 
     def all_keys_of_partition(self, partition: int) -> List[str]:

@@ -1,4 +1,4 @@
-"""Closed-loop client sessions driving the transaction mix.
+"""Client sessions driving the transaction mix.
 
 The paper "spawn[s] one client process per partition in each DC", co-located
 with the coordinator server, issuing requests in a closed loop; load is varied
@@ -6,6 +6,12 @@ by the number of threads per client process (Section V-A).  Here each thread
 is one client session (its own Algorithm-1 state) run as a kernel process:
 start, parallel read phase, parallel write phase, commit — 20 operations per
 transaction in the default mixes.
+
+Sessions are closed-loop by default, but the workload profile's
+:class:`repro.workload.profiles.ArrivalSchedule` can pace them: bursty
+profiles park every session between synchronised load bursts, ramp profiles
+start with per-transaction think time and tighten it over the run.  Delays
+are pure functions of simulated time, so pacing never perturbs determinism.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Optional
 from ..core.client import PaRiSClient
 from ..sim.stats import LatencyRecorder, ThroughputMeter
 from .generator import TransactionSpec, WorkloadGenerator
+from .profiles import ArrivalSchedule
 
 
 @dataclass
@@ -43,17 +50,23 @@ class SessionStats:
 
 
 class SessionDriver:
-    """One closed-loop session: a client plus the generator feeding it."""
+    """One session loop: a client plus the generator feeding it.
+
+    The arrival schedule defaults to the workload profile's; pass one
+    explicitly to override (tests, custom drivers).
+    """
 
     def __init__(
         self,
         client: PaRiSClient,
         generator: WorkloadGenerator,
         stats: SessionStats,
+        arrival: Optional[ArrivalSchedule] = None,
     ) -> None:
         self.client = client
         self.generator = generator
         self.stats = stats
+        self.arrival = arrival if arrival is not None else generator.profile.arrival
         self.transactions_run = 0
 
     def start(self) -> None:
@@ -63,6 +76,9 @@ class SessionDriver:
     def _loop(self):
         sim = self.client.sim
         while True:
+            delay = self.arrival.delay(sim.now)
+            if delay > 0.0:
+                yield sim.timeout(delay)
             spec = self.generator.next_transaction()
             started_at = sim.now
             yield self.client.start_tx()

@@ -1,14 +1,21 @@
-"""YCSB's zipfian generator (Gray's algorithm).
+"""YCSB's zipfian generator (Gray's algorithm) and its derived distributions.
 
 The paper draws keys "within a partition according to a zipfian distribution,
 with parameter 0.99, which is the default in YCSB" (Section V-A).  This is a
 faithful port of YCSB's ``ZipfianGenerator``: item ranks 0..n-1 are drawn
 with probability proportional to ``1 / (rank+1)^theta``.
+
+On top of it sit the profile-driven variants (see
+:mod:`repro.workload.profiles`): :class:`LatestBiasedGenerator`, YCSB-D's
+"latest" distribution over a fixed keyspace, and
+:class:`ShiftingHotspotGenerator`, whose hot set rotates deterministically
+with simulated time.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 
 class ZipfianGenerator:
@@ -41,6 +48,76 @@ class ZipfianGenerator:
         if uz < 1.0 + 0.5 ** self.theta:
             return 1
         return int(self.n_items * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class LatestBiasedGenerator:
+    """YCSB-D's "latest" distribution over a fixed keyspace.
+
+    Reads are zipf-skewed towards the most recently *inserted* item: a rank
+    draw is ``(latest - zipf_offset) mod n``, so the newest key is the
+    hottest and interest decays zipfian with age.  The keyspace is fixed
+    here (every key is preloaded), so an "insert" rotates the latest pointer
+    forward one rank — :meth:`next_insert` is what a write calls.
+    """
+
+    __slots__ = ("n_items", "_zipf", "_latest")
+
+    def __init__(self, n_items: int, theta: float = 0.99) -> None:
+        self.n_items = n_items
+        self._zipf = ZipfianGenerator(n_items, theta)
+        self._latest = 0
+
+    @property
+    def latest(self) -> int:
+        """The rank currently considered newest."""
+        return self._latest
+
+    def next_insert(self) -> int:
+        """Advance the latest pointer (one 'insert') and return its rank."""
+        self._latest = (self._latest + 1) % self.n_items
+        return self._latest
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank draw, biased towards the most recent inserts."""
+        return (self._latest - self._zipf.sample(rng)) % self.n_items
+
+
+class ShiftingHotspotGenerator:
+    """A zipfian distribution whose hot set rotates with simulated time.
+
+    Every ``interval`` simulated seconds the whole rank space rotates by
+    ``step`` ranks, so yesterday's hottest key cools off and a new region of
+    the keyspace heats up — the "dynamic hotspot" scenario.  The rotation is
+    a pure function of the simulated clock, so runs stay deterministic.
+    """
+
+    __slots__ = ("n_items", "interval", "step", "_zipf", "_clock")
+
+    def __init__(
+        self,
+        n_items: int,
+        theta: float,
+        interval: float,
+        step: int,
+        clock: Callable[[], float],
+    ) -> None:
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.n_items = n_items
+        self.interval = interval
+        self.step = step
+        self._zipf = ZipfianGenerator(n_items, theta)
+        self._clock = clock
+
+    def current_shift(self) -> int:
+        """The rank offset of the hot set at the current simulated time."""
+        return (int(self._clock() / self.interval) * self.step) % self.n_items
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank draw from the currently-hot region."""
+        return (self._zipf.sample(rng) + self.current_shift()) % self.n_items
 
 
 class UniformGenerator:

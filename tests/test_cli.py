@@ -38,6 +38,47 @@ class TestParser:
         assert config.workload.partitions_per_tx == 2
 
 
+class TestProfilesCommand:
+    def test_profiles_table(self, capsys):
+        assert cli.main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ycsb_a", "ycsb_f", "hotspot_shift", "bursty"):
+            assert name in out
+        assert "read-modify-write" in out
+
+    def test_profiles_names_are_scriptable(self, capsys):
+        from repro.workload.profiles import profile_names
+
+        assert cli.main(["profiles", "--names"]) == 0
+        out = capsys.readouterr().out
+        assert tuple(out.split()) == profile_names()
+
+    def test_workload_flag_builds_profile_config(self):
+        args = cli.build_parser().parse_args(["run", *FAST, "--workload", "ycsb_f"])
+        config = cli.config_from_args(args)
+        assert config.workload.profile == "ycsb_f"
+        assert config.workload.reads_per_tx == 5
+        assert config.workload.writes_per_tx == 5
+
+    def test_workload_flag_overrides_mix(self):
+        args = cli.build_parser().parse_args(
+            ["run", *FAST, "--mix", "50:50", "--workload", "ycsb_c"]
+        )
+        config = cli.config_from_args(args)
+        assert config.workload.writes_per_tx == 0
+
+    def test_check_with_profile_exits_zero(self, capsys):
+        assert cli.main(["check", *FAST, "--workload", "ycsb_f"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_unknown_profile_fails_loudly(self):
+        from repro.bench.sweep import SweepSpecError
+
+        args = cli.build_parser().parse_args(["run", *FAST, "--workload", "nope"])
+        with pytest.raises(SweepSpecError, match="unknown workload profile"):
+            cli.config_from_args(args)
+
+
 class TestCommands:
     def test_run_prints_summary(self, capsys):
         assert cli.main(["run", *FAST]) == 0

@@ -10,7 +10,33 @@ import pytest
 from repro.cluster.topology import ClusterSpec
 from repro.config import WorkloadConfig
 from repro.workload.generator import WorkloadGenerator, dataset_keys, key_name
-from repro.workload.zipfian import UniformGenerator, ZipfianGenerator
+from repro.workload.zipfian import (
+    LatestBiasedGenerator,
+    ShiftingHotspotGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+def zipf_pmf(n: int, theta: float) -> list:
+    """The ideal zipfian probability of each rank."""
+    weights = [1.0 / ((rank + 1) ** theta) for rank in range(n)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+#: Geometric rank bins for the chi-square tests (head resolved finely).
+BINS = [(0, 1), (1, 2), (2, 4), (4, 8), (8, 16), (16, 32), (32, 64), (64, 100)]
+
+
+def chi_square(counts: Counter, probs: list, total: int, bins=BINS) -> float:
+    """Pearson's chi-square statistic of binned observed vs expected counts."""
+    stat = 0.0
+    for lo, hi in bins:
+        observed = sum(counts.get(rank, 0) for rank in range(lo, hi))
+        expected = sum(probs[lo:hi]) * total
+        stat += (observed - expected) ** 2 / expected
+    return stat
 
 
 class TestZipfian:
@@ -53,6 +79,101 @@ class TestZipfian:
         a = [gen.sample(random.Random(7)) for _ in range(5)]
         b = [gen.sample(random.Random(7)) for _ in range(5)]
         assert a == b
+
+
+class TestDistributionCorrectness:
+    """Seeded chi-square / rank-frequency checks of the key distributions.
+
+    Gray's algorithm approximates the ideal zipfian pmf (YCSB's generator
+    has the same systematic deviation), so the zipfian thresholds carry
+    margin over the observed ~70-120 statistic — while staying an order of
+    magnitude below what a *wrong* distribution scores (theta=0.8 samples
+    score ~2800 against the theta=0.99 pmf, uniform samples ~60000).
+    """
+
+    N_ITEMS = 100
+    SAMPLES = 40_000
+
+    def _counts(self, gen, seed: int) -> Counter:
+        rng = random.Random(seed)
+        return Counter(gen.sample(rng) for _ in range(self.SAMPLES))
+
+    def test_zipfian_chi_square_matches_intended_pmf(self):
+        probs = zipf_pmf(self.N_ITEMS, 0.99)
+        for seed in (1, 2, 3):
+            counts = self._counts(ZipfianGenerator(self.N_ITEMS, 0.99), seed)
+            assert chi_square(counts, probs, self.SAMPLES) < 400.0
+
+    def test_zipfian_rejects_wrong_theta(self):
+        """The same statistic blows up for a mis-skewed generator."""
+        probs = zipf_pmf(self.N_ITEMS, 0.99)
+        counts = self._counts(ZipfianGenerator(self.N_ITEMS, 0.8), seed=5)
+        assert chi_square(counts, probs, self.SAMPLES) > 1500.0
+
+    def test_zipfian_rank_frequency_power_law(self):
+        """P(rank)/P(10*rank) tracks 10^theta across the head of the curve."""
+        counts = self._counts(ZipfianGenerator(1000, 0.99), seed=3)
+        for rank in (0, 1, 4):
+            ratio = counts[rank] / max(counts[(rank + 1) * 10 - 1], 1)
+            ideal = (((rank + 1) * 10) / (rank + 1)) ** 0.99  # ~9.77
+            assert 0.4 * ideal < ratio < 2.5 * ideal
+
+    def test_uniform_chi_square(self):
+        probs = [1.0 / self.N_ITEMS] * self.N_ITEMS
+        for seed in (1, 2, 3):
+            counts = self._counts(UniformGenerator(self.N_ITEMS), seed)
+            # df = 7 bins - 1; the 99.9% quantile of chi2(7) is 24.32.
+            assert chi_square(counts, probs, self.SAMPLES) < 24.32
+
+    def test_hotspot_is_shifted_zipfian(self):
+        """The hotspot stream IS the zipfian stream rotated by the shift."""
+        for epoch in (0, 1, 3, 7):
+            gen = ShiftingHotspotGenerator(
+                self.N_ITEMS, 0.99, 0.25, 13, lambda e=epoch: e * 0.25
+            )
+            base = ZipfianGenerator(self.N_ITEMS, 0.99)
+            rng_a, rng_b = random.Random(9), random.Random(9)
+            shift = (epoch * 13) % self.N_ITEMS
+            assert gen.current_shift() == shift
+            for _ in range(2000):
+                assert gen.sample(rng_a) == (base.sample(rng_b) + shift) % self.N_ITEMS
+
+    def test_hotspot_chi_square_after_unshifting(self):
+        """At any epoch the unshifted distribution matches the zipf pmf."""
+        probs = zipf_pmf(self.N_ITEMS, 0.99)
+        clock_value = [0.0]
+        gen = ShiftingHotspotGenerator(
+            self.N_ITEMS, 0.99, 0.25, 13, lambda: clock_value[0]
+        )
+        for epoch in (0, 5):
+            clock_value[0] = epoch * 0.25
+            shift = gen.current_shift()
+            counts = self._counts(gen, seed=4)
+            unshifted = Counter({(r - shift) % self.N_ITEMS: c for r, c in counts.items()})
+            assert chi_square(unshifted, probs, self.SAMPLES) < 400.0
+
+    def test_hotspot_moves_the_hot_key(self):
+        """The observed hottest rank follows the deterministic rotation."""
+        clock_value = [0.0]
+        gen = ShiftingHotspotGenerator(
+            self.N_ITEMS, 0.99, 0.25, 13, lambda: clock_value[0]
+        )
+        for epoch in (0, 2, 6):
+            clock_value[0] = epoch * 0.25
+            counts = self._counts(gen, seed=8)
+            assert counts.most_common(1)[0][0] == (epoch * 13) % self.N_ITEMS
+
+    def test_latest_biased_tracks_insert_pointer(self):
+        gen = LatestBiasedGenerator(self.N_ITEMS, 0.99)
+        for _ in range(37):
+            gen.next_insert()
+        assert gen.latest == 37
+        counts = self._counts(gen, seed=6)
+        assert counts.most_common(1)[0][0] == 37
+        # Distance-from-latest is exactly the zipfian rank distribution.
+        probs = zipf_pmf(self.N_ITEMS, 0.99)
+        distances = Counter({(37 - r) % self.N_ITEMS: c for r, c in counts.items()})
+        assert chi_square(distances, probs, self.SAMPLES) < 400.0
 
 
 class TestUniform:
