@@ -1,0 +1,346 @@
+"""Named workload profiles: the pluggable scenario catalogue.
+
+The paper's evaluation (Section V) varies the read:write mix, locality, and
+skew by hand; this module turns "a workload shape" into a first-class,
+registered object so new scenarios are data, not forks of the generator.
+
+A :class:`WorkloadProfile` bundles everything that distinguishes one
+scenario from another:
+
+* the **operation mix** (reads/writes per transaction, read-modify-write
+  semantics for YCSB-F-style transactions);
+* the **key-choice distribution** — static zipfian (the paper's default),
+  uniform, YCSB-D-style *latest-biased* reads, or a *shifting hotspot*
+  whose zipfian hot set rotates deterministically over simulated time;
+* the **value-size distribution** (constant / uniform / bimodal);
+* the **arrival schedule** driving the closed-loop sessions — pure closed
+  loop, bursty on/off phases, or a ramp that tightens think time over the
+  run.
+
+Profiles are looked up by name through a module-level registry, so they
+travel across process boundaries (sweep workers) as plain strings; the
+profile name rides in :attr:`repro.config.WorkloadConfig.profile` and every
+behavioural parameter is resolved from the registry at generator/driver
+construction time.  All randomness flows through the session's seeded rng
+stream and all time through the simulated clock, so a profile perturbs
+nothing about per-run determinism: one ``(config, seed)`` pair still means
+one trajectory.
+
+The catalogue, parameters, and sweep-axis usage are documented in
+docs/workloads.md; ``python -m repro profiles`` prints the live registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    import random
+
+    from ..config import WorkloadConfig
+
+
+# ----------------------------------------------------------------------
+# Value-size distributions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ValueSizeDist:
+    """How many payload bytes each written value carries.
+
+    ``constant`` always writes ``size`` bytes (the paper's 8-byte items);
+    ``uniform`` draws from ``[size, max_size]``; ``bimodal`` writes ``size``
+    bytes except for a ``large_fraction`` of writes, which carry ``max_size``
+    (small-record stores with occasional blobs).
+    """
+
+    kind: str = "constant"
+    size: int = 8
+    max_size: int = 8
+    large_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("constant", "uniform", "bimodal"):
+            raise ValueError(f"unknown value-size kind {self.kind!r}")
+        if self.size < 1 or self.max_size < self.size:
+            raise ValueError("need 1 <= size <= max_size")
+        if not 0.0 <= self.large_fraction <= 1.0:
+            raise ValueError("large_fraction must be in [0, 1]")
+
+    def sample(self, rng: "random.Random") -> int:
+        """Draw one value size in bytes."""
+        if self.kind == "constant":
+            return self.size
+        if self.kind == "uniform":
+            return rng.randint(self.size, self.max_size)
+        return self.max_size if rng.random() < self.large_fraction else self.size
+
+
+# ----------------------------------------------------------------------
+# Arrival schedules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """When a closed-loop session starts its next transaction.
+
+    ``closed_loop`` issues back to back (the paper's methodology).
+    ``bursty`` divides simulated time into ``period``-second cycles: during
+    the first ``duty`` fraction of each cycle sessions run closed-loop, then
+    they go idle until the next cycle starts — every session bursts in
+    phase, which is the point (synchronised load spikes).  ``ramp`` starts
+    with ``think`` seconds of think time per transaction and shrinks it
+    linearly to zero over the first ``ramp`` simulated seconds, so load
+    ramps from gentle to saturating within one run.
+
+    Delays depend only on simulated time, never on wall clock or randomness,
+    so schedules preserve run determinism by construction.
+    """
+
+    kind: str = "closed_loop"
+    period: float = 0.5
+    duty: float = 0.5
+    think: float = 0.0
+    ramp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("closed_loop", "bursty", "ramp"):
+            raise ValueError(f"unknown arrival kind {self.kind!r}")
+        if self.kind == "bursty" and (self.period <= 0.0 or not 0.0 < self.duty <= 1.0):
+            raise ValueError("bursty needs period > 0 and duty in (0, 1]")
+        if self.kind == "ramp" and (self.think < 0.0 or self.ramp <= 0.0):
+            raise ValueError("ramp needs think >= 0 and ramp > 0")
+
+    def delay(self, now: float) -> float:
+        """Seconds the session waits before its next transaction."""
+        if self.kind == "bursty":
+            phase = now % self.period
+            burst_end = self.period * self.duty
+            return 0.0 if phase < burst_end else self.period - phase
+        if self.kind == "ramp":
+            remaining = 1.0 - now / self.ramp
+            return self.think * remaining if remaining > 0.0 else 0.0
+        return 0.0
+
+
+# ----------------------------------------------------------------------
+# The profile
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One named workload shape: mix, key skew, value sizes, arrivals."""
+
+    name: str
+    description: str
+    reads_per_tx: int
+    writes_per_tx: int
+    #: Zipfian skew applied to key choice (where the key_dist uses it).
+    zipf_theta: float = 0.99
+    #: ``zipfian`` | ``uniform`` | ``latest`` | ``hotspot``.
+    key_dist: str = "zipfian"
+    #: Read-modify-write: write keys are drawn from the keys just read.
+    rmw: bool = False
+    #: Simulated seconds between hot-set rotations (``hotspot`` only).
+    hotspot_interval: float = 0.0
+    #: Ranks the hot set rotates by at each shift (``hotspot`` only).
+    hotspot_step: int = 0
+    #: Value-size distribution; None means constant ``config.value_size``.
+    values: ValueSizeDist | None = None
+    arrival: ArrivalSchedule = field(default_factory=ArrivalSchedule)
+
+    def __post_init__(self) -> None:
+        if self.key_dist not in ("zipfian", "uniform", "latest", "hotspot"):
+            raise ValueError(f"unknown key distribution {self.key_dist!r}")
+        if self.reads_per_tx < 0 or self.writes_per_tx < 0:
+            raise ValueError("operation counts must be non-negative")
+        if self.reads_per_tx + self.writes_per_tx == 0:
+            raise ValueError("a profile must perform at least one operation")
+        if self.rmw and (self.reads_per_tx == 0 or self.writes_per_tx == 0):
+            raise ValueError("rmw profiles need both reads and writes")
+        if self.key_dist == "hotspot" and (
+            self.hotspot_interval <= 0.0 or self.hotspot_step < 1
+        ):
+            raise ValueError("hotspot needs hotspot_interval > 0 and hotspot_step >= 1")
+        if self.key_dist == "latest" and self.zipf_theta <= 0.0:
+            raise ValueError("latest needs zipf_theta > 0")
+
+    @property
+    def mix(self) -> str:
+        """The ``reads:writes`` operation mix as a display string."""
+        return f"{self.reads_per_tx}r:{self.writes_per_tx}w"
+
+    def apply(self, workload: "WorkloadConfig") -> "WorkloadConfig":
+        """Stamp this profile onto a workload configuration.
+
+        Overrides the mix and skew (the profile owns those) while keeping
+        deployment-shaped knobs — locality, keys per partition, threads,
+        partitions per transaction — from the incoming configuration.
+        """
+        return replace(
+            workload,
+            reads_per_tx=self.reads_per_tx,
+            writes_per_tx=self.writes_per_tx,
+            zipf_theta=self.zipf_theta if self.key_dist != "uniform" else 0.0,
+            profile=self.name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, WorkloadProfile] = {}
+
+
+def register(profile: WorkloadProfile) -> WorkloadProfile:
+    """Add a profile to the registry (rejecting duplicate names)."""
+    if profile.name in _REGISTRY:
+        raise ValueError(f"workload profile {profile.name!r} is already registered")
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look a profile up by name; raises ``KeyError`` with the catalogue."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload profile {name!r}; registered: {profile_names()}"
+        ) from None
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is a registered profile."""
+    return name in _REGISTRY
+
+
+def profile_names() -> Tuple[str, ...]:
+    """All registered profile names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_profiles() -> Tuple[WorkloadProfile, ...]:
+    """All registered profiles, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+#: The paper's default shape: static zipfian 95:5, constant values, closed
+#: loop.  ``WorkloadConfig.profile`` defaults to this name, so existing
+#: configurations behave exactly as before profiles existed.
+DEFAULT_PROFILE = register(
+    WorkloadProfile(
+        name="default",
+        description="Paper Section V-A default: 95:5 zipfian(0.99), closed loop",
+        reads_per_tx=19,
+        writes_per_tx=1,
+    )
+)
+
+register(
+    WorkloadProfile(
+        name="read_heavy",
+        description="Paper 95:5 read:write mix (19r:1w over 20 ops)",
+        reads_per_tx=19,
+        writes_per_tx=1,
+    )
+)
+register(
+    WorkloadProfile(
+        name="write_heavy",
+        description="Paper 50:50 read:write mix (10r:10w over 20 ops)",
+        reads_per_tx=10,
+        writes_per_tx=10,
+    )
+)
+register(
+    WorkloadProfile(
+        name="ycsb_a",
+        description="YCSB-A analogue: update-heavy 50:50, uniform value sizes",
+        reads_per_tx=4,
+        writes_per_tx=4,
+        values=ValueSizeDist(kind="uniform", size=4, max_size=16),
+    )
+)
+register(
+    WorkloadProfile(
+        name="ycsb_b",
+        description="YCSB-B analogue: read-heavy 95:5, zipfian(0.99)",
+        reads_per_tx=19,
+        writes_per_tx=1,
+    )
+)
+register(
+    WorkloadProfile(
+        name="ycsb_c",
+        description="YCSB-C analogue: read-only transactions (finish path)",
+        reads_per_tx=20,
+        writes_per_tx=0,
+    )
+)
+register(
+    WorkloadProfile(
+        name="ycsb_d",
+        description="YCSB-D analogue: latest-key-biased reads, rolling inserts",
+        reads_per_tx=19,
+        writes_per_tx=1,
+        key_dist="latest",
+    )
+)
+register(
+    WorkloadProfile(
+        name="ycsb_f",
+        description="YCSB-F analogue: read-modify-write, writes hit read keys",
+        reads_per_tx=5,
+        writes_per_tx=5,
+        rmw=True,
+    )
+)
+register(
+    WorkloadProfile(
+        name="hotspot_shift",
+        description="Zipfian hot set rotates 13 ranks every 0.25 sim-seconds",
+        reads_per_tx=19,
+        writes_per_tx=1,
+        key_dist="hotspot",
+        hotspot_interval=0.25,
+        hotspot_step=13,
+    )
+)
+register(
+    WorkloadProfile(
+        name="uniform_scan",
+        description="Skew ablation: uniform key choice, paper 95:5 mix",
+        reads_per_tx=19,
+        writes_per_tx=1,
+        key_dist="uniform",
+    )
+)
+register(
+    WorkloadProfile(
+        name="bursty",
+        description="Synchronised load bursts: 0.2 s on / 0.2 s off cycles",
+        reads_per_tx=19,
+        writes_per_tx=1,
+        arrival=ArrivalSchedule(kind="bursty", period=0.4, duty=0.5),
+    )
+)
+register(
+    WorkloadProfile(
+        name="ramp",
+        description="Ramped arrivals: 20 ms think time decaying to 0 over 1.5 s",
+        reads_per_tx=10,
+        writes_per_tx=2,
+        arrival=ArrivalSchedule(kind="ramp", think=0.02, ramp=1.5),
+    )
+)
+register(
+    WorkloadProfile(
+        name="bimodal_values",
+        description="50:50 mix, 8-byte values with 10% 128-byte blobs",
+        reads_per_tx=10,
+        writes_per_tx=10,
+        values=ValueSizeDist(kind="bimodal", size=8, max_size=128, large_fraction=0.1),
+    )
+)
