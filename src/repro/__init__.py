@@ -5,9 +5,12 @@ Public API surface:
 * :class:`~repro.config.SimulationConfig` and friends — describe a deployment;
 * :func:`~repro.bench.harness.build_cluster` / :func:`~repro.bench.harness.run_experiment`
   — construct and drive simulated deployments;
-* :class:`~repro.core.client.PaRiSClient` / :class:`~repro.core.server.PaRiSServer`
-  — the protocol itself (Algorithms 1-4);
-* :mod:`repro.baselines` — the BPR blocking competitor;
+* :mod:`repro.protocols` — the layered protocol engine (coordinator, reads,
+  replication, stabilization) and the registry of named variants:
+  ``paris``, ``bpr``, ``eventual``, ``gst_local``;
+* :class:`~repro.core.client.PaRiSClient` /
+  :class:`~repro.protocols.paris.PaRiSServer` — the paper's protocol
+  (Algorithms 1-4);
 * :mod:`repro.consistency` — the TCC invariant checker;
 * :mod:`repro.faults` — declarative, deterministic fault injection.
 
@@ -37,6 +40,7 @@ from .consistency.oracle import ConsistencyOracle
 from .core.client import PaRiSClient, ReadResult, TransactionHandle
 from .core.server import PaRiSServer
 from .baselines.bpr import BPRClient, BPRServer
+from .protocols import ProtocolServer, ProtocolSpec, get_protocol, protocol_names
 from .faults import FaultEvent, FaultInjector, FaultPlan
 
 __version__ = "1.0.0"
@@ -56,6 +60,8 @@ __all__ = [
     "PaRiSClient",
     "PaRiSServer",
     "ProtocolConfig",
+    "ProtocolServer",
+    "ProtocolSpec",
     "ReadResult",
     "ServiceModel",
     "SimulationConfig",
@@ -64,6 +70,8 @@ __all__ = [
     "WorkloadConfig",
     "build_cluster",
     "deploy_sessions",
+    "get_protocol",
+    "protocol_names",
     "run_experiment",
     "small_test_config",
     "__version__",

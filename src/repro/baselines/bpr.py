@@ -1,108 +1,11 @@
-"""Blocking Partial Replication (BPR) — the paper's competitor (Section V).
+"""Compatibility shim: BPR is now a registered protocol variant.
 
-BPR shares the PaRiS code base, exactly as in the paper's evaluation:
-
-* The snapshot of a transaction is the **maximum of the highest causal
-  snapshot seen by the client and the coordinator's clock** — fresh, but not
-  guaranteed to be installed anywhere.
-* A read slice with snapshot ``t`` therefore **blocks** on the cohort "until
-  the partition has applied all local and remote transactions with timestamp
-  up to t", i.e. until ``min(VV) >= t``.
-* One scalar timestamp encodes snapshots, so resource overheads match PaRiS.
-
-Blocked reads park in a queue ordered by snapshot and pay a block/unblock CPU
-overhead (the synchronisation cost the paper blames for BPR's lower
-throughput).  Update visibility in BPR is the moment an update is installed
-locally — fresher than PaRiS's UST-visible instant, which is Figure 4's
-trade-off.
+``BPRServer``/``BPRClient`` live in :mod:`repro.protocols.bpr`, where BPR
+overrides exactly one engine component (the read protocol) instead of
+subclassing the PaRiS server and patching its private methods.  This module
+keeps the historical import path working.
 """
 
-from __future__ import annotations
+from ..protocols.bpr import BPRClient, BPRServer, BprReadProtocol
 
-import heapq
-import itertools
-from typing import Callable
-
-from ..core.client import PaRiSClient
-from ..core.messages import ReadSliceReq
-from ..core.server import PaRiSServer
-
-
-class BPRServer(PaRiSServer):
-    """A partition server whose transactional reads block for freshness."""
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        #: Parked reads: (snapshot, seq, request, reply, arrival time).
-        self._parked: list = []
-        self._park_seq = itertools.count()
-
-    # ------------------------------------------------------------------
-    # Snapshot selection: fresh clock value instead of the UST
-    # ------------------------------------------------------------------
-    def _assign_snapshot(self, client_snapshot: int) -> int:
-        return max(client_snapshot, self.hlc.now())
-
-    def _observe_snapshot(self, snapshot: int) -> None:
-        """BPR snapshots are clock values, not stable times: never adopt them
-        into the UST (the UST still runs underneath for garbage collection)."""
-
-    # ------------------------------------------------------------------
-    # Blocking read slices
-    # ------------------------------------------------------------------
-    def handle_ReadSliceReq(self, src: str, msg: ReadSliceReq, reply: Callable) -> None:
-        """Serve the slice if the snapshot is installed locally; else park."""
-        if self.local_stable_time >= msg.snapshot:
-            self._serve_read_slice(msg, reply)
-            return
-        self.metrics.reads_parked += 1
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.sim.now, "block", self.address,
-                snapshot=msg.snapshot, keys=len(msg.keys), parked=len(self._parked) + 1,
-            )
-        heapq.heappush(
-            self._parked, (msg.snapshot, next(self._park_seq), msg, reply, self.sim.now)
-        )
-        # Parking costs CPU: the request is enqueued on a wait structure.
-        self.cpu.submit(self.config.service.block_overhead, _noop)
-
-    def _on_stable_advance(self) -> None:
-        threshold = self.local_stable_time
-        while self._parked and self._parked[0][0] <= threshold:
-            _, _, msg, reply, arrival = heapq.heappop(self._parked)
-            self.metrics.blocking.record(self.sim.now - arrival)
-            # Waking costs CPU again, then the read is served normally.
-            self.cpu.submit(
-                self.config.service.block_overhead,
-                lambda msg=msg, reply=reply: self._serve_read_slice(msg, reply),
-            )
-        self._drain_visibility_probes()
-
-    # ------------------------------------------------------------------
-    # Visibility: installed locally (fresh) rather than UST-covered (stable)
-    # ------------------------------------------------------------------
-    def _visibility_threshold(self) -> int:
-        return self.local_stable_time
-
-    @property
-    def parked_reads(self) -> int:
-        """Number of read slices currently blocked."""
-        return len(self._parked)
-
-
-class BPRClient(PaRiSClient):
-    """Client for BPR: the snapshot floor includes the last commit time.
-
-    BPR snapshots come from coordinator clocks, which can trail the commit
-    timestamp of the client's previous transaction; sending
-    ``max(last_snapshot, hwt_c)`` keeps snapshots monotone for the session
-    and preserves read-your-writes once the cache is pruned.
-    """
-
-    def _snapshot_floor(self) -> int:
-        return max(self.last_snapshot, self.highest_write_ts)
-
-
-def _noop() -> None:
-    """Placeholder job representing park/unpark scheduler work."""
+__all__ = ["BPRClient", "BPRServer", "BprReadProtocol"]

@@ -1,7 +1,6 @@
 """Benchmark harness: experiment construction, execution, sweeps, reporting."""
 
 from .harness import (
-    PROTOCOLS,
     Cluster,
     ExperimentResult,
     build_cluster,
@@ -12,7 +11,6 @@ from .harness import (
 from .sweep import RunSpec, SweepSpec, SweepSpecError, execute_sweep, expand
 
 __all__ = [
-    "PROTOCOLS",
     "Cluster",
     "ExperimentResult",
     "RunSpec",

@@ -15,14 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type
 
-from ..baselines.bpr import BPRClient, BPRServer
 from ..clocks.hlc import timestamp_to_seconds
 from ..cluster.topology import ClusterSpec
 from ..config import SimulationConfig
 from ..consistency.oracle import ConsistencyOracle
 from ..core.client import PaRiSClient
-from ..core.server import PaRiSServer
 from ..faults.engine import FaultInjector
+from ..protocols import get_protocol
+from ..protocols.engine import ProtocolServer
 from ..sim.kernel import Simulator
 from ..sim.latency import LatencyModel
 from ..sim.network import Network
@@ -30,12 +30,6 @@ from ..sim.rng import RngRegistry
 from ..sim.stats import mean_cdf, percentile
 from ..workload.generator import WorkloadGenerator, dataset_keys
 from ..workload.runner import SessionDriver, SessionStats
-
-#: Protocol registry: name -> (server class, client class).
-PROTOCOLS: Dict[str, Tuple[Type[PaRiSServer], Type[PaRiSClient]]] = {
-    "paris": (PaRiSServer, PaRiSClient),
-    "bpr": (BPRServer, BPRClient),
-}
 
 #: Initial value installed for every preloaded key.
 PRELOAD_VALUE = "init"
@@ -51,7 +45,7 @@ class Cluster:
     config: SimulationConfig
     rngs: RngRegistry
     protocol: str
-    servers: Dict[Tuple[int, int], PaRiSServer]
+    servers: Dict[Tuple[int, int], ProtocolServer]
     oracle: Optional[ConsistencyOracle] = None
     #: Set when the configuration carries a fault plan (see repro.faults).
     injector: Optional[FaultInjector] = None
@@ -59,11 +53,11 @@ class Cluster:
     drivers: List[SessionDriver] = field(default_factory=list)
     _client_counters: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
-    def server(self, dc_id: int, partition: int) -> PaRiSServer:
+    def server(self, dc_id: int, partition: int) -> ProtocolServer:
         """The replica of ``partition`` hosted in ``dc_id``."""
         return self.servers[(dc_id, partition)]
 
-    def all_servers(self) -> List[PaRiSServer]:
+    def all_servers(self) -> List[ProtocolServer]:
         """All partition servers of the deployment."""
         return list(self.servers.values())
 
@@ -91,7 +85,7 @@ class Cluster:
 
     def client_class(self) -> Type[PaRiSClient]:
         """The client class matching this cluster's protocol."""
-        return PROTOCOLS[self.protocol][1]
+        return get_protocol(self.protocol).client_cls
 
     def new_client(
         self,
@@ -123,14 +117,18 @@ class Cluster:
 
 def build_cluster(
     config: SimulationConfig,
-    protocol: str = "paris",
+    protocol: Optional[str] = None,
     oracle: Optional[ConsistencyOracle] = None,
     preload: bool = True,
 ) -> Cluster:
-    """Construct servers, network and (optionally) the preloaded dataset."""
-    if protocol not in PROTOCOLS:
-        raise ValueError(f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
-    server_cls, _ = PROTOCOLS[protocol]
+    """Construct servers, network and (optionally) the preloaded dataset.
+
+    ``protocol`` is a registered protocol name (see ``repro protocols``);
+    omitted, it defaults to the configuration's ``protocol_name``.
+    """
+    if protocol is None:
+        protocol = config.protocol_name
+    server_cls = get_protocol(protocol).server_cls
     sim = Simulator()
     rngs = RngRegistry(config.seed)
     latency = LatencyModel.for_paper_deployment(
@@ -138,7 +136,7 @@ def build_cluster(
     )
     network = Network(sim, latency, rngs)
 
-    servers: Dict[Tuple[int, int], PaRiSServer] = {}
+    servers: Dict[Tuple[int, int], ProtocolServer] = {}
     spec = config.cluster
     empty_dcs = [dc for dc in range(spec.n_dcs) if not spec.dc_partitions(dc)]
     if empty_dcs:
@@ -273,7 +271,7 @@ class ExperimentResult:
 
 def run_experiment(
     config: SimulationConfig,
-    protocol: str = "paris",
+    protocol: Optional[str] = None,
     oracle: Optional[ConsistencyOracle] = None,
 ) -> ExperimentResult:
     """Build, warm up, measure, and summarise one configuration."""

@@ -50,14 +50,18 @@ from typing import (
 from ..cluster.topology import ClusterSpec
 from ..config import SimulationConfig
 from ..faults.plan import FaultPlan, FaultPlanError
+from ..protocols import is_registered as protocol_is_registered
+from ..protocols import protocol_names
 from ..workload.profiles import get_profile
 from . import runner
-from .harness import PROTOCOLS, run_experiment
+from .harness import run_experiment
 
 #: Bumped whenever run semantics change incompatibly: a new version makes
 #: every previously cached result a miss instead of silently reusing it.
 #: v2: the ``workload`` profile parameter joined the run-parameter namespace.
-CACHE_VERSION = 2
+#: v3: ``protocol`` values resolve through the protocol registry (the server
+#: monolith was decomposed into the repro.protocols engine).
+CACHE_VERSION = 3
 
 #: Run parameters and their defaults (mirroring ``repro run``'s flags).
 #: ``partitions_per_tx=None`` means "min(4, machines)", the CLI's behaviour.
@@ -148,9 +152,9 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
     merged = dict(PARAM_DEFAULTS)
     merged.update(params)
     protocol = merged["protocol"]
-    if protocol not in PROTOCOLS:
+    if not protocol_is_registered(protocol):
         raise SweepSpecError(
-            f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+            f"unknown protocol {protocol!r}; registered: {protocol_names()}"
         )
     cluster = ClusterSpec.from_machines(
         n_dcs=merged["dcs"],
@@ -178,6 +182,7 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
         duration=merged["duration"],
         visibility_sample_rate=merged["visibility_sample_rate"],
         faults=resolve_fault_plan(merged["faults"]),
+        protocol_name=protocol,
     )
     return config, protocol
 

@@ -14,6 +14,8 @@ Commands
               processes, with resumable content-addressed caching.
 ``profiles``  List the registered workload profiles (``--workload`` values
               and the ``workload`` sweep axis; see docs/workloads.md).
+``protocols`` List the registered protocols (``--protocol`` values and the
+              ``protocol`` sweep axis; see docs/protocol.md).
 ``topology``  Describe a deployment's placement and capacity.
 ``figure``    Regenerate one of the paper's figures/tables.
 """
@@ -34,6 +36,7 @@ from .config import SimulationConfig
 from .consistency.checker import ConsistencyChecker
 from .consistency.oracle import ConsistencyOracle
 from .faults import FaultPlan, random_plan
+from .protocols import is_registered, protocol_names
 
 #: Figure/table names accepted by ``repro figure``.
 FIGURES = (
@@ -60,25 +63,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_cmd = commands.add_parser("run", help="run one experiment")
     _add_cluster_args(run_cmd)
-    run_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    _add_protocol_arg(run_cmd)
     run_cmd.add_argument(
         "--json", action="store_true", help="emit the result as JSON instead of text"
     )
     _add_faults_arg(run_cmd)
 
-    compare_cmd = commands.add_parser("compare", help="PaRiS vs BPR, same config")
+    compare_cmd = commands.add_parser(
+        "compare", help="run several protocols on one config, side by side"
+    )
     _add_cluster_args(compare_cmd)
+    compare_cmd.add_argument(
+        "--protocol",
+        metavar="NAME",
+        type=_protocol_name,
+        nargs="+",
+        default=["paris", "bpr"],
+        help="registered protocols to compare (default: paris bpr)",
+    )
 
     check_cmd = commands.add_parser("check", help="verify TCC invariants under load")
     _add_cluster_args(check_cmd)
-    check_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    _add_protocol_arg(check_cmd)
     _add_faults_arg(check_cmd)
 
     chaos_cmd = commands.add_parser(
         "chaos", help="seeded random faults + consistency check"
     )
     _add_cluster_args(chaos_cmd)
-    chaos_cmd.add_argument("--protocol", choices=("paris", "bpr"), default="paris")
+    _add_protocol_arg(chaos_cmd)
     chaos_cmd.add_argument(
         "--episodes", type=int, default=6, help="fault episodes to generate"
     )
@@ -128,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print bare profile names, one per line (for scripting/CI)",
     )
 
+    protocols_cmd = commands.add_parser(
+        "protocols", help="list registered protocols"
+    )
+    protocols_cmd.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare protocol names, one per line (for scripting/CI)",
+    )
+
     topology_cmd = commands.add_parser("topology", help="describe a deployment")
     topology_cmd.add_argument("--dcs", type=int, default=5)
     topology_cmd.add_argument("--machines", type=int, default=18)
@@ -140,6 +162,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="deployment scale (default: small)",
     )
     return parser
+
+
+def _protocol_name(name: str) -> str:
+    """Argparse type for ``--protocol``: unknown names list the registry."""
+    if not is_registered(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown protocol {name!r}; registered: {', '.join(protocol_names())} "
+            "(see 'repro protocols')"
+        )
+    return name
+
+
+def _add_protocol_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol",
+        metavar="NAME",
+        type=_protocol_name,
+        default="paris",
+        help="registered protocol to run (see 'repro protocols')",
+    )
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -228,9 +270,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """``repro compare``: PaRiS vs BPR on one configuration."""
+    """``repro compare``: several protocols on one configuration."""
     config = config_from_args(args)
-    results = {p: run_experiment(config, protocol=p) for p in ("paris", "bpr")}
+    protocols = list(dict.fromkeys(args.protocol))
+    results = {p: run_experiment(config, protocol=p) for p in protocols}
     rows = [
         (
             p,
@@ -246,23 +289,34 @@ def cmd_compare(args: argparse.Namespace) -> int:
             ["protocol", "tx/s", "avg lat (ms)", "p99 (ms)", "block (ms)"], rows
         )
     )
-    paris, bpr = results["paris"], results["bpr"]
-    if bpr.throughput > 0 and paris.latency_mean > 0:
-        print(
-            f"\nPaRiS vs BPR: {paris.throughput / bpr.throughput:.2f}x throughput, "
-            f"{bpr.latency_mean / paris.latency_mean:.2f}x lower latency"
-        )
+    if "paris" in results and "bpr" in results:
+        paris, bpr = results["paris"], results["bpr"]
+        if bpr.throughput > 0 and paris.latency_mean > 0:
+            print(
+                f"\nPaRiS vs BPR: {paris.throughput / bpr.throughput:.2f}x throughput, "
+                f"{bpr.latency_mean / paris.latency_mean:.2f}x lower latency"
+            )
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``repro check``: TCC invariants under load; exit 1 on violations."""
+    """``repro check``: consistency invariants under load; exit 1 on violations.
+
+    Each protocol is checked against the consistency level it *claims* in
+    the registry: full TCC for ``paris``/``bpr``/``gst_local``, session
+    guarantees for ``eventual`` (which renounces causal snapshots by
+    design; see docs/protocol.md).
+    """
+    from .protocols import get_protocol
+
+    level = get_protocol(args.protocol).consistency
     oracle = ConsistencyOracle()
     result = run_experiment(config_from_args(args), protocol=args.protocol, oracle=oracle)
-    violations = ConsistencyChecker(oracle).check_all()
+    violations = ConsistencyChecker(oracle).check_level(level)
     print(
         f"checked {len(oracle.commits)} commits / {len(oracle.reads)} reads "
-        f"({result.throughput:,.0f} tx/s): {len(violations)} violations"
+        f"({result.throughput:,.0f} tx/s) at level '{level}': "
+        f"{len(violations)} violations"
     )
     for violation in violations[:20]:
         print(f"  {violation}")
@@ -270,7 +324,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """``repro chaos``: run under a (generated) fault plan, then check TCC."""
+    """``repro chaos``: run under a (generated) fault plan, then check.
+
+    Like ``repro check``, violations are judged against the protocol's
+    registered consistency level.
+    """
+    from .protocols import get_protocol
+
+    level = get_protocol(args.protocol).consistency
     config = config_from_args(args)
     if args.plan is not None:
         plan = FaultPlan.load(args.plan)
@@ -294,13 +355,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"plan written to {args.plan_out}")
     oracle = ConsistencyOracle()
     result = run_experiment(config, protocol=args.protocol, oracle=oracle)
-    violations = ConsistencyChecker(oracle).check_all()
+    violations = ConsistencyChecker(oracle).check_level(level)
     applied = len(plan)
     print(
         f"\n{args.protocol} survived {applied} fault events: "
         f"{result.throughput:,.0f} tx/s in the window, "
-        f"{len(oracle.commits)} commits / {len(oracle.reads)} reads checked, "
-        f"{len(violations)} violations"
+        f"{len(oracle.commits)} commits / {len(oracle.reads)} reads checked "
+        f"at level '{level}', {len(violations)} violations"
     )
     for violation in violations[:20]:
         print(f"  {violation}")
@@ -389,6 +450,39 @@ def cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_protocols(args: argparse.Namespace) -> int:
+    """``repro protocols``: the registered protocol catalogue."""
+    from .protocols import all_protocols
+
+    protocols = all_protocols()
+    if args.names:
+        for spec in protocols:
+            print(spec.name)
+        return 0
+    rows = [
+        (
+            spec.name,
+            spec.snapshot,
+            spec.visibility,
+            "blocking" if spec.blocking_reads else "non-blocking",
+            spec.consistency,
+            spec.description,
+        )
+        for spec in protocols
+    ]
+    print(
+        report.format_table(
+            ["protocol", "snapshot", "visibility", "reads", "claims", "description"],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(protocols)} protocols; use 'repro run --protocol NAME' or a "
+        'sweep axis "protocol": [...] (docs/protocol.md)'
+    )
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     """``repro topology``: placement and storage footprint of a deployment."""
     spec = ClusterSpec.from_machines(
@@ -450,6 +544,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "sweep": cmd_sweep,
     "profiles": cmd_profiles,
+    "protocols": cmd_protocols,
     "topology": cmd_topology,
     "figure": cmd_figure,
 }

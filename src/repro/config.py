@@ -190,12 +190,26 @@ class SimulationConfig:
     visibility_sample_rate: float = 0.0
     #: Deterministic fault schedule applied during the run (None = healthy).
     faults: Optional[FaultPlan] = None
+    #: Registered protocol the experiment runs (see repro.protocols); entry
+    #: points may override it with an explicit ``protocol=`` argument.
+    protocol_name: str = "paris"
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0:
             raise ValueError("warmup must be >= 0 and duration > 0")
         if not 0.0 <= self.visibility_sample_rate <= 1.0:
             raise ValueError("visibility_sample_rate must be in [0, 1]")
+        # Late import of the package (not just the registry module) so the
+        # built-in protocols are registered before the lookup; the protocols
+        # package imports this module, so the import must happen at
+        # instance-validation time (the same pattern WorkloadConfig uses).
+        from .protocols import is_registered, protocol_names
+
+        if not is_registered(self.protocol_name):
+            raise ValueError(
+                f"unknown protocol {self.protocol_name!r}; "
+                f"registered: {protocol_names()}"
+            )
         if self.cluster.n_dcs > 10:
             raise ValueError("the latency model covers at most 10 regions")
         if self.faults is not None:

@@ -61,6 +61,28 @@ class ConsistencyChecker:
         violations.extend(self.check_dependency_timestamps())
         return violations
 
+    def check_level(self, level: str) -> List[Violation]:
+        """Verify the invariants a consistency level claims.
+
+        ``"tcc"`` runs the full TCC suite (:meth:`check_all`).  ``"session"``
+        verifies only the session guarantees plus timestamp sanity —
+        read-your-writes, monotonic reads, dependency timestamps — which is
+        what an eventually consistent protocol actually promises: checking a
+        protocol against guarantees it never claimed says nothing, while a
+        session-level pass is a real statement about its cache and
+        per-replica installation order.  Protocols declare their level in
+        :class:`repro.protocols.registry.ProtocolSpec`.
+        """
+        if level == "tcc":
+            return self.check_all()
+        if level != "session":
+            raise ValueError(f"unknown consistency level {level!r}")
+        violations: List[Violation] = []
+        violations.extend(self.check_read_your_writes())
+        violations.extend(self.check_monotonic_reads())
+        violations.extend(self.check_dependency_timestamps())
+        return violations
+
     def check_dependency_timestamps(self) -> List[Violation]:
         """Proposition 1: if u1 -> u2 then u1.ut < u2.ut.
 

@@ -121,6 +121,16 @@ class PaRiSClient(Node):
         """
         return self.last_snapshot
 
+    def _prune_cache(self) -> None:
+        """Drop cached own-writes the stable snapshot now covers (Alg. 1 l. 6).
+
+        The prune is sound because PaRiS snapshots are *stable*: once
+        ``last_snapshot`` covers a write, every server-side read at that
+        snapshot returns it.  Variants whose snapshots are not stable times
+        (e.g. the ``eventual`` protocol) override this with a no-op.
+        """
+        self.cache.prune(self.last_snapshot)
+
     # ------------------------------------------------------------------
     # START (Algorithm 1 lines 1-7)
     # ------------------------------------------------------------------
@@ -138,7 +148,7 @@ class PaRiSClient(Node):
         self._write_set = {}
         if resp.snapshot > self.last_snapshot:
             self.last_snapshot = resp.snapshot
-        self.cache.prune(self.last_snapshot)
+        self._prune_cache()
         return TransactionHandle(tid=resp.tid, snapshot=resp.snapshot)
 
     # ------------------------------------------------------------------
@@ -241,7 +251,7 @@ class PaRiSClient(Node):
     ) -> Dict[str, ReadResult]:
         if resp.snapshot > self.last_snapshot:
             self.last_snapshot = resp.snapshot
-        self.cache.prune(self.last_snapshot)
+        self._prune_cache()
         for key, version in resp.versions:
             fresher = self.cache.lookup(key)
             if fresher is not None and fresher.newer_than(version):

@@ -215,3 +215,16 @@ class UstBroadcastMsg:
 
     ust: int
     oldest_global: int
+
+
+@dataclass(frozen=True, slots=True)
+class GstBroadcastMsg:
+    """Root -> subtree: the DC-local stable time (``gst_local`` protocol only).
+
+    PaRiS never sends this: it assigns snapshots from the UST.  The
+    ``gst_local`` variant assigns snapshots from the *per-DC* stable time
+    instead — the design point the paper argues against — so each DC's root
+    pushes its GST down the local tree as it advances.
+    """
+
+    gst: int

@@ -25,6 +25,8 @@ class ServerMetrics:
     transactions_committed: int = 0
     read_slices_served: int = 0
     reads_parked: int = 0
+    #: Completed park-side scheduler jobs (blocking read protocols only).
+    block_jobs: int = 0
     updates_applied_local: int = 0
     updates_applied_remote: int = 0
     heartbeats_sent: int = 0

@@ -1,703 +1,14 @@
-"""The PaRiS partition server p_n^m: coordinator + cohort + replication + UST.
+"""Compatibility shim: the PaRiS partition server now lives in the engine.
 
-One instance serves one partition replica in one DC and plays every server
-role of the paper:
-
-* **transaction coordinator** (Algorithm 2) for transactions started by
-  clients connected to it: assigns snapshots from the UST, fans reads out to
-  replica servers (local DC when possible, the DC's preferred remote replica
-  otherwise), and drives the 2PC commit;
-* **cohort** (Algorithm 3) for read slices and prepares arriving from any
-  coordinator in any DC;
-* **apply/replicate loop and heartbeats** (Algorithm 4) every Delta_R;
-* **stabilization** (Section IV-B): intra-DC tree aggregation of min(VV)
-  every Delta_G, root-to-root GST exchange, and UST computation/broadcast
-  every Delta_U.  The same tree aggregates the oldest active snapshot, which
-  bounds garbage collection (S_old).
-
-Fidelity notes
---------------
-* Algorithm 4 computes ``ub = min(prepared pt) - 1`` and applies transactions
-  with ``ct < ub`` while advertising ``VV[r] = ub``.  Taken literally this
-  leaves a committed transaction with ``ct == ub`` unapplied while the version
-  clock claims it is covered.  We apply ``ct <= ub``, which restores the
-  invariant of Proposition 2 (tests assert it).
-* Replicate batches carry the sender's new version clock as a watermark, so a
-  peer's VV entry advances to ``ub`` rather than to the last shipped commit
-  timestamp.  By FIFO ordering this is exactly the guarantee heartbeats give
-  during idle periods, applied uniformly.
+The 700-line monolithic ``PaRiSServer`` this module used to define was
+decomposed into four composable components — ``TxCoordinator``,
+``ReadProtocol``, ``ReplicationPipeline``, ``StabilizationService`` —
+behind a protocol registry; see :mod:`repro.protocols` and
+docs/architecture.md.  This module keeps the historical import path
+(``from repro.core.server import PaRiSServer``) working.
 """
 
-from __future__ import annotations
+from ..protocols.engine import ProtocolServer
+from ..protocols.paris import PaRiSServer
 
-import heapq
-import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
-
-from ..clocks.hlc import HybridLogicalClock, pack
-from ..clocks.physical import PhysicalClock
-from ..cluster.topology import ClusterSpec, server_address
-from ..config import SimulationConfig
-from ..sim.cpu import Cpu
-from ..sim.future import all_of
-from ..sim.network import Network, Node
-from ..sim.rng import RngRegistry
-from ..sim.trace import GLOBAL_TRACER, Tracer
-from ..storage.mvstore import MultiVersionStore
-from ..storage.version import TransactionId, Version
-from .messages import (
-    AggUpMsg,
-    CommitReq,
-    CommitResp,
-    CommitTxMsg,
-    DcGstMsg,
-    FinishTxMsg,
-    HeartbeatMsg,
-    OneShotReadReq,
-    OneShotReadResp,
-    PrepareReq,
-    PrepareResp,
-    ReadReq,
-    ReadResp,
-    ReadSliceReq,
-    ReadSliceResp,
-    ReplicatedTx,
-    ReplicateMsg,
-    StartTxReq,
-    StartTxResp,
-    UstBroadcastMsg,
-)
-from .metrics import ServerMetrics
-
-
-@dataclass
-class _TxContext:
-    """Coordinator-side state of a running transaction (TX[idT])."""
-
-    snapshot: int
-    created_at: float
-
-
-@dataclass
-class _PreparedTx:
-    """An entry of the Prepared queue (Algorithm 3 line 13)."""
-
-    tid: TransactionId
-    proposed_ts: int
-    writes: Tuple[Tuple[str, Any], ...]
-
-
-class PaRiSServer(Node):
-    """One partition replica; see module docstring."""
-
-    def __init__(
-        self,
-        network: Network,
-        spec: ClusterSpec,
-        config: SimulationConfig,
-        dc_id: int,
-        partition: int,
-        rngs: RngRegistry,
-    ) -> None:
-        address = server_address(dc_id, partition)
-        super().__init__(network, address, dc_id, cpu=Cpu(network.sim, config.service.cores))
-        self.spec = spec
-        self.config = config
-        self.partition = partition
-        self.replica_dcs: Tuple[int, ...] = spec.replica_dcs(partition)
-        if dc_id not in self.replica_dcs:
-            raise ValueError(f"DC {dc_id} does not replicate partition {partition}")
-        self.replica_index = spec.replica_index(partition, dc_id)
-        #: Unique integer id of this server, embedded in transaction ids.
-        self.uid = dc_id * spec.n_partitions + partition
-
-        clock_rng = rngs.stream(f"clock.{address}")
-        self.clock = PhysicalClock.with_skew(
-            network.sim,
-            clock_rng,
-            max_offset=config.clocks.max_offset,
-            max_drift=config.clocks.max_drift,
-        )
-        if config.clocks.mode == "logical":
-            from ..clocks.logical import LogicalClock
-
-            self.hlc = LogicalClock(self.clock)
-        else:
-            self.hlc = HybridLogicalClock(self.clock)
-        self.store = MultiVersionStore()
-        self.metrics = ServerMetrics()
-
-        #: Version vector over this partition's replicas (VV_n^m).
-        self.vv: List[int] = [0] * spec.replication_factor
-        #: Universal stable time known to this server (ust_n^m).
-        self.ust = 0
-        #: Global GC bound (S_old) received from the stabilization plane.
-        self.oldest_global = 0
-
-        self._tx_seq = itertools.count(1)
-        self._contexts: Dict[TransactionId, _TxContext] = {}
-        self._prepared: Dict[TransactionId, _PreparedTx] = {}
-        #: Min-heap of (commit_ts, tid, writes, decided_at) awaiting apply.
-        self._committed: List[Tuple[int, TransactionId, Tuple, float]] = []
-
-        # Stabilization tree wiring.
-        self._tree = spec.dc_tree(dc_id, config.protocol.tree_fanout)
-        parent = self._tree.parent(partition)
-        self._parent_addr = server_address(dc_id, parent) if parent is not None else None
-        self._child_partitions = list(self._tree.children(partition))
-        self._child_addrs = [server_address(dc_id, c) for c in self._child_partitions]
-        self._child_reports: Dict[int, AggUpMsg] = {}
-        self.is_root = self._tree.root == partition
-        #: Latest GST/oldest pair per DC (root only; own entry included).
-        self._dc_reports: Dict[int, Tuple[int, int]] = {}
-        self._remote_root_addrs = [
-            server_address(dc, spec.dc_tree(dc, config.protocol.tree_fanout).root)
-            for dc in range(spec.n_dcs)
-            if dc != dc_id
-        ]
-
-        #: Visibility probes: min-heap of (commit_ts, decided_at).
-        self._visibility_pending: List[Tuple[int, float]] = []
-        self._probe_rng = rngs.stream(f"probe.{address}")
-        self._timer_rng = rngs.stream(f"timer.{address}")
-        self._cancel_timers: List[Callable[[], None]] = []
-        #: Structured event sink (disabled by default; see repro.sim.trace).
-        self.tracer: Tracer = GLOBAL_TRACER
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Arm the periodic protocol timers (phase-staggered per server)."""
-        protocol = self.config.protocol
-        sim = self.sim
-        self._cancel_timers.append(
-            sim.every(
-                protocol.replication_interval,
-                self._replication_tick,
-                phase=self._timer_rng.uniform(0, protocol.replication_interval),
-            )
-        )
-        self._cancel_timers.append(
-            sim.every(
-                protocol.gst_interval,
-                self._stabilization_tick,
-                phase=self._timer_rng.uniform(0, protocol.gst_interval),
-            )
-        )
-        if self.is_root:
-            self._cancel_timers.append(
-                sim.every(
-                    protocol.ust_interval,
-                    self._ust_tick,
-                    phase=self._timer_rng.uniform(0, protocol.ust_interval),
-                )
-            )
-        self._cancel_timers.append(sim.every(protocol.gc_interval, self._gc_tick))
-        self._cancel_timers.append(
-            sim.every(protocol.tx_context_timeout / 2, self._expire_contexts)
-        )
-
-    def stop(self) -> None:
-        """Cancel all periodic timers (server crash / teardown)."""
-        for cancel in self._cancel_timers:
-            cancel()
-        self._cancel_timers.clear()
-
-    def crash(self) -> None:
-        """Fail-stop this replica: timers stop, volatile state is dropped.
-
-        What survives is exactly the durable state of Section III-C: the
-        multiversion store, the prepared/committed transaction logs (2PC
-        forces them to disk before acknowledging), and this replica's own
-        advertised version-clock watermark (persisted with the log it
-        covers).  What is lost is soft state: coordinator transaction
-        contexts (their clients fall back to the current UST snapshot on the
-        next request), stabilization-tree child reports, remote-DC GST
-        reports, and pending visibility probes.  Inbound traffic queues
-        while down — TCP peers retransmit — so nothing is lost in flight.
-        """
-        self.stop()
-        self.pause_delivery()
-        self._contexts.clear()
-        self._child_reports.clear()
-        self._dc_reports.clear()
-        self._visibility_pending.clear()
-
-    def recover(self) -> None:
-        """Restart from durable state (the mvstore + logs) and rejoin.
-
-        Peer entries of the version vector are volatile, so they restart at
-        zero and are re-learned from the replayed backlog and the next
-        heartbeats — within about one replication interval.  Until then this
-        server's ``min(VV)`` is conservative, which can only *stall* the UST
-        (it is adopted monotonically everywhere), never regress it.
-        """
-        own = self.replica_index
-        for index in range(len(self.vv)):
-            if index != own:
-                self.vv[index] = 0
-        self.resume_delivery()
-        self.start()
-
-    def preload(self, key: str, value: Any) -> None:
-        """Install a timestamp-zero base version of ``key``."""
-        self.store.preload(key, value)
-
-    # ------------------------------------------------------------------
-    # Service-cost model
-    # ------------------------------------------------------------------
-    def service_cost(self, payload: Any) -> float:
-        """CPU seconds charged for ``payload`` (see :class:`ServiceModel`)."""
-        service = self.config.service
-        cost = service.base_cost
-        if isinstance(payload, (ReadSliceReq, ReadReq, OneShotReadReq)):
-            cost += len(payload.keys) * service.per_key_read
-        elif isinstance(payload, (ReadSliceResp, ReadResp)):
-            cost += len(payload.versions) * service.per_key_read
-        elif isinstance(payload, (PrepareReq, CommitReq)):
-            cost += len(payload.writes) * service.per_key_write
-        elif isinstance(payload, ReplicateMsg):
-            total = sum(len(group.writes) for group in payload.groups)
-            cost += total * service.per_key_write
-        return cost
-
-    # ------------------------------------------------------------------
-    # Coordinator role (Algorithm 2)
-    # ------------------------------------------------------------------
-    def handle_StartTxReq(self, src: str, msg: StartTxReq, reply: Callable) -> None:
-        """Algorithm 2, START: assign a snapshot and open a context."""
-        snapshot = self._assign_snapshot(msg.client_snapshot)
-        tid: TransactionId = (next(self._tx_seq), self.uid)
-        self._contexts[tid] = _TxContext(snapshot=snapshot, created_at=self.sim.now)
-        self.metrics.transactions_started += 1
-        reply(StartTxResp(tid=tid, snapshot=snapshot))
-
-    def _assign_snapshot(self, client_snapshot: int) -> int:
-        """PaRiS: adopt the client's stable snapshot into the UST, assign it."""
-        if client_snapshot > self.ust:
-            self._adopt_ust(client_snapshot)
-        return self.ust
-
-    def handle_ReadReq(self, src: str, msg: ReadReq, reply: Callable) -> None:
-        """Algorithm 2, READ: fan slices out to preferred replicas, merge."""
-        snapshot = self._context_snapshot(msg.tid)
-        slices: Dict[int, List[str]] = {}
-        for key in msg.keys:
-            slices.setdefault(self.spec.key_to_partition(key), []).append(key)
-        futures = []
-        for partition, keys in slices.items():
-            target_dc = self.spec.preferred_dc(partition, self.dc_id)
-            target = server_address(target_dc, partition)
-            futures.append(
-                self.request(target, ReadSliceReq(keys=tuple(keys), snapshot=snapshot))
-            )
-
-        def respond(responses: List[ReadSliceResp]) -> None:
-            """Merge the slices and answer the client's READ."""
-            merged: List[Tuple[str, Version]] = []
-            for response in responses:
-                merged.extend(response.versions)
-            reply(ReadResp(versions=tuple(merged)))
-
-        all_of(futures).add_done_callback(lambda fut: respond(fut.value))
-
-    def handle_OneShotReadReq(self, src: str, msg: OneShotReadReq, reply: Callable) -> None:
-        """One-round read-only transaction: assign snapshot, fan out, reply.
-
-        No transaction context is created — the snapshot is consumed within
-        this call, so there is nothing for the GC bound to pin and nothing
-        for the timeout cleaner to reclaim.
-        """
-        snapshot = self._assign_snapshot(msg.client_snapshot)
-        slices: Dict[int, List[str]] = {}
-        for key in msg.keys:
-            slices.setdefault(self.spec.key_to_partition(key), []).append(key)
-        futures = []
-        for partition, keys in slices.items():
-            target_dc = self.spec.preferred_dc(partition, self.dc_id)
-            target = server_address(target_dc, partition)
-            futures.append(
-                self.request(target, ReadSliceReq(keys=tuple(keys), snapshot=snapshot))
-            )
-
-        def respond(responses: List[ReadSliceResp]) -> None:
-            """Merge the slices and answer the one-shot read."""
-            merged: List[Tuple[str, Version]] = []
-            for response in responses:
-                merged.extend(response.versions)
-            reply(OneShotReadResp(snapshot=snapshot, versions=tuple(merged)))
-
-        all_of(futures).add_done_callback(lambda fut: respond(fut.value))
-
-    def handle_CommitReq(self, src: str, msg: CommitReq, reply: Callable) -> None:
-        """Algorithm 2, COMMIT: run 2PC over the write partitions."""
-        snapshot = self._context_snapshot(msg.tid)
-        highest = max(snapshot, msg.highest_write_ts)
-        if not msg.writes:
-            # Defensive: Algorithm 1 only commits when WS is non-empty.
-            self._contexts.pop(msg.tid, None)
-            reply(CommitResp(tid=msg.tid, commit_ts=highest))
-            return
-        slices: Dict[int, List[Tuple[str, Any]]] = {}
-        for key, value in msg.writes:
-            slices.setdefault(self.spec.key_to_partition(key), []).append((key, value))
-        targets: List[str] = []
-        futures = []
-        for partition, pairs in slices.items():
-            target_dc = self.spec.preferred_dc(partition, self.dc_id)
-            target = server_address(target_dc, partition)
-            targets.append(target)
-            futures.append(
-                self.request(
-                    target,
-                    PrepareReq(
-                        tid=msg.tid,
-                        snapshot=snapshot,
-                        highest_ts=highest,
-                        writes=tuple(pairs),
-                    ),
-                )
-            )
-
-        def decide(responses: List[PrepareResp]) -> None:
-            """2PC decision: max of the votes, then notify every cohort."""
-            commit_ts = max(response.proposed_ts for response in responses)
-            decided_at = self.sim.now
-            for target in targets:
-                self.cast(
-                    target,
-                    CommitTxMsg(tid=msg.tid, commit_ts=commit_ts, decided_at=decided_at),
-                )
-            self._contexts.pop(msg.tid, None)
-            self.metrics.transactions_committed += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    self.sim.now, "commit", self.address,
-                    tid=msg.tid, commit_ts=commit_ts, partitions=len(targets),
-                )
-            reply(CommitResp(tid=msg.tid, commit_ts=commit_ts))
-
-        all_of(futures).add_done_callback(lambda fut: decide(fut.value))
-
-    def handle_FinishTxMsg(self, src: str, msg: FinishTxMsg, reply: Callable) -> None:
-        """Read-only transactions end here: free the coordinator context."""
-        self._contexts.pop(msg.tid, None)
-
-    def _context_snapshot(self, tid: TransactionId) -> int:
-        """Snapshot of a running transaction; falls back to the current UST.
-
-        The fallback covers contexts expired by the background cleanup: the
-        UST is monotonic, so a re-assigned snapshot is never older than the
-        one originally handed to the client.
-        """
-        context = self._contexts.get(tid)
-        if context is not None:
-            return context.snapshot
-        return self.ust
-
-    # ------------------------------------------------------------------
-    # Cohort role (Algorithm 3)
-    # ------------------------------------------------------------------
-    def handle_ReadSliceReq(self, src: str, msg: ReadSliceReq, reply: Callable) -> None:
-        """Algorithm 3, read slice: serve at the snapshot, never blocking."""
-        self._observe_snapshot(msg.snapshot)
-        self._serve_read_slice(msg, reply)
-
-    def _observe_snapshot(self, snapshot: int) -> None:
-        """Alg. 3 line 2: adopt a fresher UST carried by a request."""
-        if snapshot > self.ust:
-            self._adopt_ust(snapshot)
-
-    def _serve_read_slice(self, msg: ReadSliceReq, reply: Callable) -> None:
-        versions: List[Tuple[str, Version]] = []
-        for key in msg.keys:
-            version = self.store.read(key, msg.snapshot)
-            if version is None:
-                raise LookupError(
-                    f"key {key!r} unknown at {self.address}; dataset must be preloaded"
-                )
-            versions.append((key, version))
-        self.metrics.read_slices_served += 1
-        reply(ReadSliceResp(versions=tuple(versions)))
-
-    def handle_PrepareReq(self, src: str, msg: PrepareReq, reply: Callable) -> None:
-        """Algorithm 3, prepare: vote a commit timestamp, queue the writes."""
-        new_hlc = self.hlc.update(msg.highest_ts)
-        self._observe_snapshot(msg.snapshot)
-        proposed = max(new_hlc, self.ust)
-        self.hlc.observe(proposed)
-        self._prepared[msg.tid] = _PreparedTx(
-            tid=msg.tid, proposed_ts=proposed, writes=msg.writes
-        )
-        reply(PrepareResp(tid=msg.tid, proposed_ts=proposed))
-
-    def handle_CommitTxMsg(self, src: str, msg: CommitTxMsg, reply: Callable) -> None:
-        """Algorithm 3, commit: move the transaction to the committed queue."""
-        self.hlc.observe(msg.commit_ts)
-        prepared = self._prepared.pop(msg.tid, None)
-        if prepared is None:
-            raise KeyError(f"commit for unknown prepared transaction {msg.tid}")
-        heapq.heappush(
-            self._committed, (msg.commit_ts, msg.tid, prepared.writes, msg.decided_at)
-        )
-
-    # ------------------------------------------------------------------
-    # Apply / replicate loop (Algorithm 4)
-    # ------------------------------------------------------------------
-    def _replication_tick(self) -> None:
-        upper_bound = self._version_clock_bound()
-        groups = self._pop_committed_up_to(upper_bound)
-        if groups:
-            batch: List[ReplicatedTx] = []
-            for commit_ts, tid, writes, decided_at in groups:
-                self._apply_writes(writes, commit_ts, tid, self.dc_id, decided_at)
-                self.metrics.updates_applied_local += len(writes)
-                batch.append(
-                    ReplicatedTx(
-                        tid=tid,
-                        commit_ts=commit_ts,
-                        writes=writes,
-                        source_dc=self.dc_id,
-                        decided_at=decided_at,
-                    )
-                )
-            message = ReplicateMsg(groups=tuple(batch), watermark=upper_bound)
-            for peer_dc in self.replica_dcs:
-                if peer_dc != self.dc_id:
-                    self.cast(server_address(peer_dc, self.partition), message)
-            self.metrics.replicate_batches_sent += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    self.sim.now, "replicate", self.address,
-                    groups=len(batch), watermark=upper_bound,
-                )
-        else:
-            heartbeat = HeartbeatMsg(ts=upper_bound)
-            for peer_dc in self.replica_dcs:
-                if peer_dc != self.dc_id:
-                    self.cast(server_address(peer_dc, self.partition), heartbeat)
-            self.metrics.heartbeats_sent += 1
-        self._advance_version_clock(upper_bound)
-
-    def _version_clock_bound(self) -> int:
-        """The ``ub`` of Algorithm 4 lines 6-7.
-
-        With HLCs the idle bound tracks the physical clock, so the version
-        clock (and hence the UST) advances in the absence of updates.  With
-        pure logical clocks it cannot — that is exactly the freshness defect
-        Section III-B attributes to logical clocks, measured by the clock
-        ablation bench.
-        """
-        if self._prepared:
-            return min(entry.proposed_ts for entry in self._prepared.values()) - 1
-        if not self.hlc.uses_physical_time:
-            return self.hlc.current
-        wall = pack(self.clock.now_micros(), 0)
-        return max(wall, self.hlc.current)
-
-    def _pop_committed_up_to(
-        self, upper_bound: int
-    ) -> List[Tuple[int, TransactionId, Tuple, float]]:
-        groups = []
-        while self._committed and self._committed[0][0] <= upper_bound:
-            groups.append(heapq.heappop(self._committed))
-        return groups
-
-    def _apply_writes(
-        self,
-        writes: Tuple[Tuple[str, Any], ...],
-        commit_ts: int,
-        tid: TransactionId,
-        source_dc: int,
-        decided_at: float,
-    ) -> None:
-        for key, value in writes:
-            self.store.apply(key, value, commit_ts, tid, source_dc)
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.sim.now, "apply", self.address,
-                tid=tid, commit_ts=commit_ts, keys=len(writes), source_dc=source_dc,
-            )
-        self._maybe_probe_visibility(commit_ts, decided_at)
-
-    def _advance_version_clock(self, value: int) -> None:
-        index = self.replica_index
-        if value < self.vv[index]:
-            raise AssertionError(
-                f"version clock would regress at {self.address}: "
-                f"{self.vv[index]} -> {value}"
-            )
-        self.vv[index] = value
-        self._on_stable_advance()
-
-    # ------------------------------------------------------------------
-    # Replication receipt
-    # ------------------------------------------------------------------
-    def handle_ReplicateMsg(self, src: str, msg: ReplicateMsg, reply: Callable) -> None:
-        """Apply a peer replica's batch and adopt its watermark."""
-        for group in msg.groups:
-            self._apply_writes(
-                group.writes, group.commit_ts, group.tid, group.source_dc, group.decided_at
-            )
-            self.metrics.updates_applied_remote += len(group.writes)
-        self._advance_peer_clock(src, msg.watermark)
-
-    def handle_HeartbeatMsg(self, src: str, msg: HeartbeatMsg, reply: Callable) -> None:
-        """Advance a peer's version-vector entry during idle periods."""
-        self._advance_peer_clock(src, msg.ts)
-
-    def _advance_peer_clock(self, src: str, value: int) -> None:
-        peer_dc = self.network.dc_of(src)
-        index = self.replica_dcs.index(peer_dc)
-        if value > self.vv[index]:
-            self.vv[index] = value
-            self._on_stable_advance()
-
-    # ------------------------------------------------------------------
-    # Stabilization plane (Section IV-B)
-    # ------------------------------------------------------------------
-    def _stabilization_tick(self) -> None:
-        stable_min, oldest = self._aggregate_subtree()
-        if self._parent_addr is not None:
-            self.cast(
-                self._parent_addr,
-                AggUpMsg(partition=self.partition, stable_min=stable_min, oldest_active=oldest),
-            )
-            return
-        # Root: record our DC and gossip to remote roots.
-        self._dc_reports[self.dc_id] = (stable_min, oldest)
-        message = DcGstMsg(dc_id=self.dc_id, gst=stable_min, oldest_active=oldest)
-        for root in self._remote_root_addrs:
-            self.cast(root, message)
-
-    def _aggregate_subtree(self) -> Tuple[int, int]:
-        stable_min = min(self.vv)
-        oldest = self._oldest_active_snapshot()
-        for child in self._child_partitions:
-            report = self._child_reports.get(child)
-            if report is None:
-                # A child has not reported since this node (re)started —
-                # speak for the subtree with the safe floor rather than
-                # overshooting it (crash recovery drops child reports; an
-                # overshoot here could advance the UST past installed state).
-                return 0, 0
-            stable_min = min(stable_min, report.stable_min)
-            oldest = min(oldest, report.oldest_active)
-        return stable_min, oldest
-
-    def _oldest_active_snapshot(self) -> int:
-        """GC input: the oldest running transaction's snapshot, else the UST."""
-        if self._contexts:
-            return min(context.snapshot for context in self._contexts.values())
-        return self.ust
-
-    def handle_AggUpMsg(self, src: str, msg: AggUpMsg, reply: Callable) -> None:
-        """Stabilization tree: cache a child subtree's report."""
-        self._child_reports[msg.partition] = msg
-
-    def handle_DcGstMsg(self, src: str, msg: DcGstMsg, reply: Callable) -> None:
-        """Root gossip: record another DC's GST / oldest-active pair."""
-        previous = self._dc_reports.get(msg.dc_id)
-        gst = msg.gst if previous is None else max(previous[0], msg.gst)
-        self._dc_reports[msg.dc_id] = (gst, msg.oldest_active)
-
-    def _ust_tick(self) -> None:
-        if len(self._dc_reports) < self.spec.n_dcs:
-            return  # not all DCs have reported yet; UST stays at its floor
-        ust = min(gst for gst, _ in self._dc_reports.values())
-        oldest = min(oldest for _, oldest in self._dc_reports.values())
-        self._adopt_ust(ust, oldest)
-        self._broadcast_ust()
-
-    def _broadcast_ust(self) -> None:
-        message = UstBroadcastMsg(ust=self.ust, oldest_global=self.oldest_global)
-        for child in self._child_addrs:
-            self.cast(child, message)
-
-    def handle_UstBroadcastMsg(self, src: str, msg: UstBroadcastMsg, reply: Callable) -> None:
-        """Adopt the root's UST and pass it down the tree."""
-        self._adopt_ust(msg.ust, msg.oldest_global)
-        self._broadcast_ust()
-
-    def _adopt_ust(self, ust: int, oldest_global: Optional[int] = None) -> None:
-        """Monotonically advance the UST (and the GC bound, if carried)."""
-        if ust > self.ust:
-            self.ust = ust
-            self.metrics.ust_advances += 1
-            if self.tracer.enabled:
-                self.tracer.emit(self.sim.now, "ust", self.address, ust=ust)
-            self._drain_visibility_probes()
-        if oldest_global is not None and oldest_global > self.oldest_global:
-            self.oldest_global = oldest_global
-
-    # ------------------------------------------------------------------
-    # Visibility probes (Figure 4 instrumentation)
-    # ------------------------------------------------------------------
-    def _visibility_threshold(self) -> int:
-        """An update is readable here once its ct is within this bound.
-
-        PaRiS serves reads from the UST snapshot; BPR overrides this with the
-        locally installed snapshot (min of the version vector).
-        """
-        return self.ust
-
-    def _maybe_probe_visibility(self, commit_ts: int, decided_at: float) -> None:
-        rate = self.config.visibility_sample_rate
-        if rate <= 0.0:
-            return
-        if rate < 1.0 and self._probe_rng.random() >= rate:
-            return
-        if commit_ts <= self._visibility_threshold():
-            self.metrics.visibility.record(max(0.0, self.sim.now - decided_at))
-            return
-        heapq.heappush(self._visibility_pending, (commit_ts, decided_at))
-
-    def _drain_visibility_probes(self) -> None:
-        if not self._visibility_pending:
-            return
-        threshold = self._visibility_threshold()
-        now = self.sim.now
-        while self._visibility_pending and self._visibility_pending[0][0] <= threshold:
-            _, decided_at = heapq.heappop(self._visibility_pending)
-            self.metrics.visibility.record(max(0.0, now - decided_at))
-
-    def _on_stable_advance(self) -> None:
-        """Hook invoked whenever the version vector advances."""
-        # PaRiS reads never wait on the version vector; BPR overrides this.
-
-    # ------------------------------------------------------------------
-    # Maintenance
-    # ------------------------------------------------------------------
-    def _gc_tick(self) -> None:
-        if self.oldest_global > 0:
-            removed = self.store.collect(self.oldest_global)
-            self.metrics.versions_collected += removed
-
-    def _expire_contexts(self) -> None:
-        deadline = self.sim.now - self.config.protocol.tx_context_timeout
-        expired = [
-            tid for tid, context in self._contexts.items() if context.created_at < deadline
-        ]
-        for tid in expired:
-            del self._contexts[tid]
-        self.metrics.contexts_expired += len(expired)
-
-    # ------------------------------------------------------------------
-    # Introspection helpers (tests, harness)
-    # ------------------------------------------------------------------
-    @property
-    def local_stable_time(self) -> int:
-        """min(VV): everything at or below this is installed locally."""
-        return min(self.vv)
-
-    @property
-    def prepared_count(self) -> int:
-        """Number of transactions in the prepared queue."""
-        return len(self._prepared)
-
-    @property
-    def committed_backlog(self) -> int:
-        """Number of committed-but-unapplied transactions."""
-        return len(self._committed)
+__all__ = ["PaRiSServer", "ProtocolServer"]

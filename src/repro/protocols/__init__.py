@@ -1,0 +1,70 @@
+"""The layered protocol engine and the protocol registry.
+
+``repro.protocols`` decomposes the partition server into four composable
+components behind a registry of named protocol variants:
+
+========== ===================================================================
+module      contents
+========== ===================================================================
+engine      :class:`ProtocolServer` (the slim composed server), ``ComponentSet``
+coordinator ``TxCoordinator`` — start/prepare/commit 2PC
+reads       ``ReadProtocol`` / ``BlockingReadProtocol`` — the variant seam
+replication ``ReplicationPipeline`` — the Delta_R apply/replicate loop
+stabilization ``StabilizationService`` — GST/UST tree plane
+registry    ``ProtocolSpec`` + register/get/names lookup
+paris       the paper's protocol (default components)
+bpr         Blocking Partial Replication (fresh snapshots, blocking reads)
+eventual    no causal wait — the latency/freshness upper-bound baseline
+gst_local   per-DC stable time, blocking on remote-partition reads
+golden      refactor-equivalence digests of every protocol's trajectory
+========== ===================================================================
+
+Importing this package registers the four built-in protocols.  See
+docs/protocol.md for the how-to-add-a-protocol recipe.
+"""
+
+from .engine import ComponentSet, ProtocolServer
+from .coordinator import TxCoordinator
+from .reads import BlockingReadProtocol, ReadProtocol
+from .replication import ReplicationPipeline
+from .stabilization import StabilizationService
+from .registry import (
+    ProtocolSpec,
+    UnknownProtocolError,
+    all_protocols,
+    get_protocol,
+    is_registered,
+    protocol_names,
+    register,
+    unregister,
+)
+
+# Built-in protocol variants register themselves on import.
+from .paris import PaRiSServer
+from .bpr import BPRClient, BPRServer
+from .eventual import EventualClient, EventualServer
+from .gst_local import GstLocalServer
+
+__all__ = [
+    "BPRClient",
+    "BPRServer",
+    "BlockingReadProtocol",
+    "ComponentSet",
+    "EventualClient",
+    "EventualServer",
+    "GstLocalServer",
+    "PaRiSServer",
+    "ProtocolServer",
+    "ProtocolSpec",
+    "ReadProtocol",
+    "ReplicationPipeline",
+    "StabilizationService",
+    "TxCoordinator",
+    "UnknownProtocolError",
+    "all_protocols",
+    "get_protocol",
+    "is_registered",
+    "protocol_names",
+    "register",
+    "unregister",
+]

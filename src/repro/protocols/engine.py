@@ -1,0 +1,393 @@
+"""The layered protocol engine: a slim server composing four components.
+
+:class:`ProtocolServer` is the partition server ``p_n^m`` of the paper,
+rebuilt as a thin shell over four components with narrow interfaces:
+
+* :class:`~repro.protocols.coordinator.TxCoordinator` — start/prepare/commit
+  2PC (Algorithms 2 and 3, write path);
+* :class:`~repro.protocols.reads.ReadProtocol` — snapshot assignment,
+  visibility threshold, and (for blocking variants) read parking — the seam
+  where protocol variants differ;
+* :class:`~repro.protocols.replication.ReplicationPipeline` — the Delta_R
+  apply/replicate loop, batches, and peer version clocks (Algorithm 4);
+* :class:`~repro.protocols.stabilization.StabilizationService` — UST tree
+  aggregation/broadcast and heartbeat-driven stabilization (Section IV-B).
+
+Shared protocol state — the clock pair, the multiversion store, the version
+vector, the UST and GC bound, metrics — lives on the server and is read and
+advanced by the components.  A protocol variant is a
+:class:`ComponentSet` naming the four component classes; concrete server
+classes (``PaRiSServer``, ``BPRServer``, ...) bind one set each and add
+nothing else.
+
+Hot-path design: the message-dispatch path stays flat.  At construction the
+server collects every component's handler table into the
+``Node._handler_cache`` bound-method dispatch dict, so an inbound message
+dispatches straight to the owning component's bound method — one dict hit,
+zero per-message delegation hops, exactly as the pre-split monolith
+dispatched to its own methods.  Server and components are ``__slots__``
+classes.  The ``handle_<MessageType>`` methods on the server exist for
+direct invocation (tests, debugging); live traffic never routes through
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..clocks.hlc import HybridLogicalClock
+from ..clocks.physical import PhysicalClock
+from ..cluster.topology import ClusterSpec, server_address
+from ..config import SimulationConfig
+from ..core.messages import (
+    AggUpMsg,
+    CommitReq,
+    CommitTxMsg,
+    DcGstMsg,
+    FinishTxMsg,
+    HeartbeatMsg,
+    OneShotReadReq,
+    PrepareReq,
+    ReadReq,
+    ReadResp,
+    ReadSliceReq,
+    ReadSliceResp,
+    ReplicateMsg,
+    StartTxReq,
+    UstBroadcastMsg,
+)
+from ..core.metrics import ServerMetrics
+from ..sim.cpu import Cpu
+from ..sim.network import Network, Node
+from ..sim.rng import RngRegistry
+from ..sim.trace import GLOBAL_TRACER, Tracer
+from ..storage.mvstore import MultiVersionStore
+from ..storage.version import TransactionId
+from .coordinator import TxCoordinator
+from .reads import ReadProtocol
+from .replication import ReplicationPipeline
+from .stabilization import StabilizationService
+
+
+@dataclass(frozen=True)
+class ComponentSet:
+    """The four component classes composed into one protocol variant."""
+
+    coordinator: Type[TxCoordinator] = TxCoordinator
+    reads: Type[ReadProtocol] = ReadProtocol
+    replication: Type[ReplicationPipeline] = ReplicationPipeline
+    stabilization: Type[StabilizationService] = StabilizationService
+
+
+class ProtocolServer(Node):
+    """One partition replica: shared state + four composed components."""
+
+    __slots__ = (
+        "spec",
+        "config",
+        "partition",
+        "replica_dcs",
+        "replica_index",
+        "uid",
+        "clock",
+        "hlc",
+        "store",
+        "metrics",
+        "vv",
+        "ust",
+        "oldest_global",
+        "coordinator",
+        "reads",
+        "replication",
+        "stabilization",
+        "timer_rng",
+        "_cancel_timers",
+        "tracer",
+    )
+
+    #: The component classes this server composes; protocol variants override.
+    components: ComponentSet = ComponentSet()
+
+    def __init__(
+        self,
+        network: Network,
+        spec: ClusterSpec,
+        config: SimulationConfig,
+        dc_id: int,
+        partition: int,
+        rngs: RngRegistry,
+    ) -> None:
+        address = server_address(dc_id, partition)
+        super().__init__(network, address, dc_id, cpu=Cpu(network.sim, config.service.cores))
+        self.spec = spec
+        self.config = config
+        self.partition = partition
+        self.replica_dcs: Tuple[int, ...] = spec.replica_dcs(partition)
+        if dc_id not in self.replica_dcs:
+            raise ValueError(f"DC {dc_id} does not replicate partition {partition}")
+        self.replica_index = spec.replica_index(partition, dc_id)
+        #: Unique integer id of this server, embedded in transaction ids.
+        self.uid = dc_id * spec.n_partitions + partition
+
+        clock_rng = rngs.stream(f"clock.{address}")
+        self.clock = PhysicalClock.with_skew(
+            network.sim,
+            clock_rng,
+            max_offset=config.clocks.max_offset,
+            max_drift=config.clocks.max_drift,
+        )
+        if config.clocks.mode == "logical":
+            from ..clocks.logical import LogicalClock
+
+            self.hlc = LogicalClock(self.clock)
+        else:
+            self.hlc = HybridLogicalClock(self.clock)
+        self.store = MultiVersionStore()
+        self.metrics = ServerMetrics()
+
+        #: Version vector over this partition's replicas (VV_n^m).
+        self.vv: List[int] = [0] * spec.replication_factor
+        #: Universal stable time known to this server (ust_n^m).
+        self.ust = 0
+        #: Global GC bound (S_old) received from the stabilization plane.
+        self.oldest_global = 0
+
+        self.timer_rng = rngs.stream(f"timer.{address}")
+        self._cancel_timers: List[Callable[[], None]] = []
+        #: Structured event sink (disabled by default; see repro.sim.trace).
+        self.tracer: Tracer = GLOBAL_TRACER
+
+        # Compose the protocol from its component set, then collect every
+        # component's handler table into the flat bound-method dispatch dict.
+        kit = self.components
+        self.coordinator = kit.coordinator(self)
+        self.reads = kit.reads(self, rngs.stream(f"probe.{address}"))
+        self.replication = kit.replication(self)
+        self.stabilization = kit.stabilization(self)
+        cache = self._handler_cache
+        cache.update(self.coordinator.dispatch())
+        cache.update(self.reads.dispatch())
+        cache.update(self.replication.dispatch())
+        cache.update(self.stabilization.dispatch())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic protocol timers (phase-staggered per server)."""
+        protocol = self.config.protocol
+        sim = self.sim
+        cancels = self._cancel_timers
+        cancels.append(
+            sim.every(
+                protocol.replication_interval,
+                self.replication.tick,
+                phase=self.timer_rng.uniform(0, protocol.replication_interval),
+            )
+        )
+        self.stabilization.start_timers(cancels)
+        cancels.append(sim.every(protocol.gc_interval, self._gc_tick))
+        cancels.append(
+            sim.every(protocol.tx_context_timeout / 2, self.coordinator.expire_contexts)
+        )
+
+    def stop(self) -> None:
+        """Cancel all periodic timers (server crash / teardown)."""
+        for cancel in self._cancel_timers:
+            cancel()
+        self._cancel_timers.clear()
+
+    def crash(self) -> None:
+        """Fail-stop this replica: timers stop, volatile state is dropped.
+
+        What survives is exactly the durable state of Section III-C: the
+        multiversion store, the prepared/committed transaction logs (2PC
+        forces them to disk before acknowledging), and this replica's own
+        advertised version-clock watermark (persisted with the log it
+        covers).  What is lost is soft state: coordinator transaction
+        contexts (their clients fall back to the current UST snapshot on the
+        next request), stabilization-tree child reports, remote-DC GST
+        reports, and pending visibility probes.  Inbound traffic queues
+        while down — TCP peers retransmit — so nothing is lost in flight.
+        """
+        self.stop()
+        self.pause_delivery()
+        self.coordinator.on_crash()
+        self.stabilization.on_crash()
+        self.reads.on_crash()
+
+    def recover(self) -> None:
+        """Restart from durable state (the mvstore + logs) and rejoin.
+
+        Peer entries of the version vector are volatile, so they restart at
+        zero and are re-learned from the replayed backlog and the next
+        heartbeats — within about one replication interval.  Until then this
+        server's ``min(VV)`` is conservative, which can only *stall* the UST
+        (it is adopted monotonically everywhere), never regress it.
+        """
+        own = self.replica_index
+        for index in range(len(self.vv)):
+            if index != own:
+                self.vv[index] = 0
+        self.resume_delivery()
+        self.start()
+
+    def preload(self, key: str, value: Any) -> None:
+        """Install a timestamp-zero base version of ``key``."""
+        self.store.preload(key, value)
+
+    # ------------------------------------------------------------------
+    # Service-cost model
+    # ------------------------------------------------------------------
+    def service_cost(self, payload: Any) -> float:
+        """CPU seconds charged for ``payload`` (see :class:`ServiceModel`)."""
+        service = self.config.service
+        cost = service.base_cost
+        if isinstance(payload, (ReadSliceReq, ReadReq, OneShotReadReq)):
+            cost += len(payload.keys) * service.per_key_read
+        elif isinstance(payload, (ReadSliceResp, ReadResp)):
+            cost += len(payload.versions) * service.per_key_read
+        elif isinstance(payload, (PrepareReq, CommitReq)):
+            cost += len(payload.writes) * service.per_key_write
+        elif isinstance(payload, ReplicateMsg):
+            total = sum(len(group.writes) for group in payload.groups)
+            cost += total * service.per_key_write
+        return cost
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _gc_tick(self) -> None:
+        if self.oldest_global > 0:
+            removed = self.store.collect(self.oldest_global)
+            self.metrics.versions_collected += removed
+
+    # ------------------------------------------------------------------
+    # Direct-invocation handler surface (tests, debugging)
+    # ------------------------------------------------------------------
+    # Live traffic dispatches through the bound-method table assembled in
+    # __init__; these methods exist so a handler can be called by name on
+    # the server, as the pre-split monolith allowed.
+    def handle_StartTxReq(self, src: str, msg: StartTxReq, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_start_tx`."""
+        self.coordinator.handle_start_tx(src, msg, reply)
+
+    def handle_ReadReq(self, src: str, msg: ReadReq, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_read`."""
+        self.coordinator.handle_read(src, msg, reply)
+
+    def handle_OneShotReadReq(self, src: str, msg: OneShotReadReq, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_one_shot_read`."""
+        self.coordinator.handle_one_shot_read(src, msg, reply)
+
+    def handle_CommitReq(self, src: str, msg: CommitReq, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_commit`."""
+        self.coordinator.handle_commit(src, msg, reply)
+
+    def handle_FinishTxMsg(self, src: str, msg: FinishTxMsg, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_finish_tx`."""
+        self.coordinator.handle_finish_tx(src, msg, reply)
+
+    def handle_PrepareReq(self, src: str, msg: PrepareReq, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_prepare`."""
+        self.coordinator.handle_prepare(src, msg, reply)
+
+    def handle_CommitTxMsg(self, src: str, msg: CommitTxMsg, reply: Callable) -> None:
+        """Delegate to :meth:`TxCoordinator.handle_commit_tx`."""
+        self.coordinator.handle_commit_tx(src, msg, reply)
+
+    def handle_ReadSliceReq(self, src: str, msg: ReadSliceReq, reply: Callable) -> None:
+        """Delegate to :meth:`ReadProtocol.handle_read_slice`."""
+        self.reads.handle_read_slice(src, msg, reply)
+
+    def handle_ReplicateMsg(self, src: str, msg: ReplicateMsg, reply: Callable) -> None:
+        """Delegate to :meth:`ReplicationPipeline.handle_replicate`."""
+        self.replication.handle_replicate(src, msg, reply)
+
+    def handle_HeartbeatMsg(self, src: str, msg: HeartbeatMsg, reply: Callable) -> None:
+        """Delegate to :meth:`ReplicationPipeline.handle_heartbeat`."""
+        self.replication.handle_heartbeat(src, msg, reply)
+
+    def handle_AggUpMsg(self, src: str, msg: AggUpMsg, reply: Callable) -> None:
+        """Delegate to :meth:`StabilizationService.handle_agg_up`."""
+        self.stabilization.handle_agg_up(src, msg, reply)
+
+    def handle_DcGstMsg(self, src: str, msg: DcGstMsg, reply: Callable) -> None:
+        """Delegate to :meth:`StabilizationService.handle_dc_gst`."""
+        self.stabilization.handle_dc_gst(src, msg, reply)
+
+    def handle_UstBroadcastMsg(self, src: str, msg: UstBroadcastMsg, reply: Callable) -> None:
+        """Delegate to :meth:`StabilizationService.handle_ust_broadcast`."""
+        self.stabilization.handle_ust_broadcast(src, msg, reply)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, harness)
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        """Whether this server is its DC's stabilization-tree root."""
+        return self.stabilization.is_root
+
+    @property
+    def local_stable_time(self) -> int:
+        """min(VV): everything at or below this is installed locally."""
+        return min(self.vv)
+
+    @property
+    def prepared_count(self) -> int:
+        """Number of transactions in the prepared queue."""
+        return len(self.coordinator.prepared)
+
+    @property
+    def committed_backlog(self) -> int:
+        """Number of committed-but-unapplied transactions."""
+        return len(self.replication.committed)
+
+    @property
+    def parked_reads(self) -> int:
+        """Number of read slices currently blocked (0 unless reads block)."""
+        return self.reads.parked_count
+
+    # ------------------------------------------------------------------
+    # Pre-split compatibility aliases (tests and older callers)
+    # ------------------------------------------------------------------
+    @property
+    def _contexts(self) -> Dict[TransactionId, Any]:
+        """Alias for :attr:`TxCoordinator.contexts` (pre-split name)."""
+        return self.coordinator.contexts
+
+    @property
+    def _prepared(self) -> Dict[TransactionId, Any]:
+        """Alias for :attr:`TxCoordinator.prepared` (pre-split name)."""
+        return self.coordinator.prepared
+
+    @property
+    def _committed(self) -> List[Tuple[int, TransactionId, Tuple, float]]:
+        """Alias for :attr:`ReplicationPipeline.committed` (pre-split name)."""
+        return self.replication.committed
+
+    @property
+    def _dc_reports(self) -> Dict[int, Tuple[int, int]]:
+        """Alias for :attr:`StabilizationService.dc_reports` (pre-split name)."""
+        return self.stabilization.dc_reports
+
+    def _context_snapshot(self, tid: TransactionId) -> int:
+        """Alias for :meth:`TxCoordinator.context_snapshot` (pre-split name)."""
+        return self.coordinator.context_snapshot(tid)
+
+    def _version_clock_bound(self) -> int:
+        """Alias for :meth:`ReplicationPipeline.version_clock_bound`."""
+        return self.replication.version_clock_bound()
+
+    def _advance_version_clock(self, value: int) -> None:
+        """Alias for :meth:`ReplicationPipeline.advance_version_clock`."""
+        self.replication.advance_version_clock(value)
+
+    def _adopt_ust(self, ust: int, oldest_global: Optional[int] = None) -> None:
+        """Alias for :meth:`StabilizationService.adopt_ust` (pre-split name)."""
+        self.stabilization.adopt_ust(ust, oldest_global)
+
+    def _visibility_threshold(self) -> int:
+        """Alias for :meth:`ReadProtocol.visibility_threshold` (pre-split name)."""
+        return self.reads.visibility_threshold()

@@ -1,0 +1,127 @@
+"""Golden-run digests: refactor-equivalence fingerprints per protocol.
+
+A golden digest is the SHA-256 of one short, fixed, seeded simulation's
+full observable behaviour: the protocol-level trace (commit / apply /
+replicate / ust / block records) plus the run's ``ExperimentResult``.  The
+committed digests (``tests/golden/protocol_digests.json``) for ``paris``
+and ``bpr`` were captured against the pre-split monolithic server, so the
+test suite can assert the layered engine is *byte-identical* to it — not
+merely "still passes the checker".  Every newly registered protocol gets a
+digest too, which pins its trajectory against accidental behavioural
+drift.
+
+Regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python -m repro.protocols.golden --update
+
+and commit the diff with an explanation of why trajectories moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Optional, Sequence
+
+from ..config import SimulationConfig, small_test_config
+from ..sim.trace import GLOBAL_TRACER
+
+#: Trace categories digested by the golden runs (``net`` excluded: huge and
+#: redundant with the protocol-level records).
+GOLDEN_CATEGORIES = ("commit", "apply", "replicate", "ust", "block")
+
+#: Default location of the committed digest file, relative to the repo root.
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden" / "protocol_digests.json"
+
+
+def golden_config() -> SimulationConfig:
+    """The fixed laptop-scale configuration every golden digest runs."""
+    return small_test_config(
+        n_dcs=3,
+        machines_per_dc=2,
+        replication_factor=2,
+        seed=7,
+        threads_per_client=1,
+        keys_per_partition=20,
+    ).with_(warmup=0.3, duration=0.4, visibility_sample_rate=1.0)
+
+
+def golden_digest(protocol: str) -> str:
+    """Run the golden scenario under ``protocol`` and digest its behaviour."""
+    from ..bench.harness import run_experiment  # local import: avoids a cycle
+
+    tracer = GLOBAL_TRACER
+    tracer.clear()
+    with tracer.capture(*GOLDEN_CATEGORIES):
+        result = run_experiment(golden_config(), protocol=protocol)
+        records = [
+            [r.at, r.category, r.source, [[k, v] for k, v in r.details]]
+            for r in tracer.records
+        ]
+    tracer.clear()
+    blob = json.dumps(
+        {"result": result.to_dict(), "trace": records},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def load_goldens(path: Optional[pathlib.Path] = None) -> Dict[str, str]:
+    """The committed protocol -> digest map ({} when the file is absent)."""
+    target = path or GOLDEN_PATH
+    try:
+        return json.loads(target.read_text(encoding="utf-8"))
+    except OSError:
+        return {}
+
+
+def update_goldens(
+    names: Optional[Sequence[str]] = None, path: Optional[pathlib.Path] = None
+) -> Dict[str, str]:
+    """Recompute digests for ``names`` (default: every registered protocol)."""
+    from .registry import protocol_names
+
+    target = path or GOLDEN_PATH
+    digests = load_goldens(target)
+    for name in names or protocol_names():
+        digests[name] = golden_digest(name)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return digests
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.protocols.golden``: print or refresh the digests."""
+    import argparse
+
+    from .registry import protocol_names
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the committed digest file"
+    )
+    parser.add_argument(
+        "names", nargs="*", help="protocols to digest (default: all registered)"
+    )
+    args = parser.parse_args(argv)
+    names = args.names or list(protocol_names())
+    if args.update:
+        digests = update_goldens(names)
+        for name in names:
+            print(f"{name:<12} {digests[name]}")
+        print(f"wrote {GOLDEN_PATH}")
+        return 0
+    committed = load_goldens()
+    status = 0
+    for name in names:
+        digest = golden_digest(name)
+        match = committed.get(name) == digest
+        print(f"{name:<12} {digest}  {'ok' if match else 'DIFFERS'}")
+        status |= 0 if match else 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""PaRiS: the paper's protocol, composed from the default components.
+
+One instance serves one partition replica in one DC and plays every server
+role of the paper:
+
+* **transaction coordinator** (Algorithm 2) for transactions started by
+  clients connected to it: assigns snapshots from the UST, fans reads out to
+  replica servers (local DC when possible, the DC's preferred remote replica
+  otherwise), and drives the 2PC commit;
+* **cohort** (Algorithm 3) for read slices and prepares arriving from any
+  coordinator in any DC;
+* **apply/replicate loop and heartbeats** (Algorithm 4) every Delta_R;
+* **stabilization** (Section IV-B): intra-DC tree aggregation of min(VV)
+  every Delta_G, root-to-root GST exchange, and UST computation/broadcast
+  every Delta_U.  The same tree aggregates the oldest active snapshot, which
+  bounds garbage collection (S_old).
+
+Each role is one engine component (see :mod:`repro.protocols.engine`);
+PaRiS is simply the default :class:`~repro.protocols.engine.ComponentSet`.
+"""
+
+from __future__ import annotations
+
+from ..core.client import PaRiSClient
+from .engine import ComponentSet, ProtocolServer
+from .registry import ProtocolSpec, register
+
+
+class PaRiSServer(ProtocolServer):
+    """One PaRiS partition replica; see module docstring."""
+
+    __slots__ = ()
+
+    components = ComponentSet()
+
+
+PARIS = register(
+    ProtocolSpec(
+        name="paris",
+        description="The paper's protocol: UST snapshots, non-blocking reads",
+        server_cls=PaRiSServer,
+        client_cls=PaRiSClient,
+        snapshot="ust",
+        visibility="ust",
+        blocking_reads=False,
+    )
+)

@@ -1,0 +1,179 @@
+"""StabilizationService: UST tree aggregation and broadcast (Section IV-B).
+
+One of the four engine components composed by
+:class:`~repro.protocols.engine.ProtocolServer`.  Every ``Delta_G`` each
+server aggregates ``min(VV)`` (towards the GST) and the oldest active
+snapshot (towards the GC bound S_old) up a fanout-k intra-DC tree; the tree
+roots gossip per-DC results to one another and every ``Delta_U`` compute the
+UST — the minimum over every DC — broadcasting it back down the tree.  The
+UST and GC bound live on the server (shared protocol state); this component
+owns the tree wiring and the aggregation/gossip state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..cluster.topology import server_address
+from ..core.messages import AggUpMsg, DcGstMsg, UstBroadcastMsg
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .engine import ProtocolServer
+
+
+class StabilizationService:
+    """The GST/UST plane of one partition replica."""
+
+    __slots__ = (
+        "server",
+        "tree",
+        "parent_addr",
+        "child_partitions",
+        "child_addrs",
+        "child_reports",
+        "is_root",
+        "dc_reports",
+        "remote_root_addrs",
+    )
+
+    def __init__(self, server: "ProtocolServer") -> None:
+        self.server = server
+        spec = server.spec
+        fanout = server.config.protocol.tree_fanout
+        self.tree = spec.dc_tree(server.dc_id, fanout)
+        parent = self.tree.parent(server.partition)
+        self.parent_addr = (
+            server_address(server.dc_id, parent) if parent is not None else None
+        )
+        self.child_partitions = list(self.tree.children(server.partition))
+        self.child_addrs = [server_address(server.dc_id, c) for c in self.child_partitions]
+        self.child_reports: Dict[int, AggUpMsg] = {}
+        self.is_root = self.tree.root == server.partition
+        #: Latest GST/oldest pair per DC (root only; own entry included).
+        self.dc_reports: Dict[int, Tuple[int, int]] = {}
+        self.remote_root_addrs = [
+            server_address(dc, spec.dc_tree(dc, fanout).root)
+            for dc in range(spec.n_dcs)
+            if dc != server.dc_id
+        ]
+
+    def dispatch(self) -> Dict[type, Callable]:
+        """Message types this component handles, as a bound-method table."""
+        return {
+            AggUpMsg: self.handle_agg_up,
+            DcGstMsg: self.handle_dc_gst,
+            UstBroadcastMsg: self.handle_ust_broadcast,
+        }
+
+    # ------------------------------------------------------------------
+    # The Delta_G tick: aggregate up the tree (roots gossip across DCs)
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Report this subtree's minima to the parent (root: gossip DCs)."""
+        server = self.server
+        stable_min, oldest = self.aggregate_subtree()
+        if self.parent_addr is not None:
+            server.cast(
+                self.parent_addr,
+                AggUpMsg(
+                    partition=server.partition, stable_min=stable_min, oldest_active=oldest
+                ),
+            )
+            return
+        # Root: record our DC and gossip to remote roots.
+        self.dc_reports[server.dc_id] = (stable_min, oldest)
+        message = DcGstMsg(dc_id=server.dc_id, gst=stable_min, oldest_active=oldest)
+        for root in self.remote_root_addrs:
+            server.cast(root, message)
+
+    def aggregate_subtree(self) -> Tuple[int, int]:
+        """min(VV) and oldest-active over this node's subtree."""
+        server = self.server
+        stable_min = min(server.vv)
+        oldest = server.coordinator.oldest_active_snapshot()
+        for child in self.child_partitions:
+            report = self.child_reports.get(child)
+            if report is None:
+                # A child has not reported since this node (re)started —
+                # speak for the subtree with the safe floor rather than
+                # overshooting it (crash recovery drops child reports; an
+                # overshoot here could advance the UST past installed state).
+                return 0, 0
+            stable_min = min(stable_min, report.stable_min)
+            oldest = min(oldest, report.oldest_active)
+        return stable_min, oldest
+
+    def handle_agg_up(self, src: str, msg: AggUpMsg, reply: Callable) -> None:
+        """Stabilization tree: cache a child subtree's report."""
+        self.child_reports[msg.partition] = msg
+
+    def handle_dc_gst(self, src: str, msg: DcGstMsg, reply: Callable) -> None:
+        """Root gossip: record another DC's GST / oldest-active pair."""
+        previous = self.dc_reports.get(msg.dc_id)
+        gst = msg.gst if previous is None else max(previous[0], msg.gst)
+        self.dc_reports[msg.dc_id] = (gst, msg.oldest_active)
+
+    # ------------------------------------------------------------------
+    # The Delta_U tick (roots only): compute and broadcast the UST
+    # ------------------------------------------------------------------
+    def ust_tick(self) -> None:
+        """Compute the UST from every DC's report and push it down the tree."""
+        server = self.server
+        if len(self.dc_reports) < server.spec.n_dcs:
+            return  # not all DCs have reported yet; UST stays at its floor
+        ust = min(gst for gst, _ in self.dc_reports.values())
+        oldest = min(oldest for _, oldest in self.dc_reports.values())
+        self.adopt_ust(ust, oldest)
+        self.broadcast_ust()
+
+    def broadcast_ust(self) -> None:
+        """Push the current UST and GC bound to the subtree children."""
+        server = self.server
+        message = UstBroadcastMsg(ust=server.ust, oldest_global=server.oldest_global)
+        for child in self.child_addrs:
+            server.cast(child, message)
+
+    def handle_ust_broadcast(self, src: str, msg: UstBroadcastMsg, reply: Callable) -> None:
+        """Adopt the root's UST and pass it down the tree."""
+        self.adopt_ust(msg.ust, msg.oldest_global)
+        self.broadcast_ust()
+
+    def adopt_ust(self, ust: int, oldest_global: Optional[int] = None) -> None:
+        """Monotonically advance the UST (and the GC bound, if carried)."""
+        server = self.server
+        if ust > server.ust:
+            server.ust = ust
+            server.metrics.ust_advances += 1
+            if server.tracer.enabled:
+                server.tracer.emit(server.sim.now, "ust", server.address, ust=ust)
+            server.reads.drain_visibility_probes()
+        if oldest_global is not None and oldest_global > server.oldest_global:
+            server.oldest_global = oldest_global
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_timers(self, cancels: List[Callable[[], None]]) -> None:
+        """Arm the Delta_G (and, at roots, Delta_U) periodic timers."""
+        server = self.server
+        protocol = server.config.protocol
+        cancels.append(
+            server.sim.every(
+                protocol.gst_interval,
+                self.tick,
+                phase=server.timer_rng.uniform(0, protocol.gst_interval),
+            )
+        )
+        if self.is_root:
+            cancels.append(
+                server.sim.every(
+                    protocol.ust_interval,
+                    self.ust_tick,
+                    phase=server.timer_rng.uniform(0, protocol.ust_interval),
+                )
+            )
+
+    def on_crash(self) -> None:
+        """Drop volatile stabilization state (tree and gossip reports)."""
+        self.child_reports.clear()
+        self.dc_reports.clear()

@@ -79,6 +79,41 @@ class TestProfilesCommand:
             cli.config_from_args(args)
 
 
+class TestProtocolsCommand:
+    def test_protocols_table(self, capsys):
+        assert cli.main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paris", "bpr", "eventual", "gst_local"):
+            assert name in out
+        assert "session" in out  # eventual's consistency claim column
+
+    def test_protocols_names_are_scriptable(self, capsys):
+        from repro.protocols import protocol_names
+
+        assert cli.main(["protocols", "--names"]) == 0
+        out = capsys.readouterr().out
+        assert tuple(out.split()) == protocol_names()
+
+    def test_unknown_protocol_lists_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["run", *FAST, "--protocol", "espresso"])
+        err = capsys.readouterr().err
+        assert "unknown protocol 'espresso'" in err
+        assert "paris" in err and "gst_local" in err
+
+    def test_check_picks_claimed_level(self, capsys):
+        assert cli.main(["check", *FAST, "--protocol", "eventual"]) == 0
+        out = capsys.readouterr().out
+        assert "at level 'session'" in out
+        assert "0 violations" in out
+
+    def test_compare_accepts_protocol_list(self, capsys):
+        assert cli.main(["compare", *FAST, "--protocol", "paris", "eventual"]) == 0
+        out = capsys.readouterr().out
+        assert "eventual" in out
+        assert "PaRiS vs BPR" not in out  # ratio line needs both present
+
+
 class TestCommands:
     def test_run_prints_summary(self, capsys):
         assert cli.main(["run", *FAST]) == 0

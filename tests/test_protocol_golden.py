@@ -1,0 +1,44 @@
+"""Refactor equivalence + determinism: golden digests per protocol.
+
+The ``paris`` and ``bpr`` digests in ``tests/golden/protocol_digests.json``
+were captured against the pre-split monolithic ``PaRiSServer`` (before the
+repro.protocols engine existed), so the equality assertions prove the
+layered engine reproduces the monolith's trajectories *byte for byte* —
+trace and summary alike.  The ``eventual``/``gst_local`` digests pin the
+new variants against behavioural drift.  Every registered protocol must
+have a committed digest: regenerate with
+
+    PYTHONPATH=src python -m repro.protocols.golden --update
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import protocol_names
+from repro.protocols.golden import GOLDEN_PATH, golden_digest, load_goldens
+
+GOLDENS = load_goldens()
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_identical_trace_and_golden_match(protocol):
+    """One run per protocol: digest twice (determinism), compare to golden."""
+    first = golden_digest(protocol)
+    second = golden_digest(protocol)
+    assert first == second, f"{protocol}: same seed produced different trajectories"
+    assert protocol in GOLDENS, (
+        f"no committed golden digest for {protocol!r}; run "
+        f"'python -m repro.protocols.golden --update {protocol}' and commit "
+        f"{GOLDEN_PATH}"
+    )
+    assert first == GOLDENS[protocol], (
+        f"{protocol}: trajectory diverged from the committed golden digest. "
+        "If the behaviour change is intentional, regenerate the goldens and "
+        "explain the change in the commit message."
+    )
+
+
+def test_golden_file_has_no_orphans():
+    """Digests for unregistered protocols are stale; prune them."""
+    assert set(GOLDENS) <= set(protocol_names())

@@ -9,7 +9,6 @@ from repro.core.messages import (
     CommitTxMsg,
     PrepareReq,
     ReadSliceReq,
-    ReplicateMsg,
     StartTxReq,
 )
 from tests.conftest import run_for
@@ -215,13 +214,21 @@ class TestApplyLoop:
         """FIFO + batch ordering: a replica applies groups in ct order."""
         server = tiny_cluster.server(1, 0)  # peer replica of partition 0
         applied_order = []
-        original_apply = server._apply_writes
 
-        def spy(writes, commit_ts, tid, source_dc, decided_at):
-            applied_order.append(commit_ts)
-            original_apply(writes, commit_ts, tid, source_dc, decided_at)
+        class SpyStore:
+            """Record apply timestamps, then forward to the real store."""
 
-        server._apply_writes = spy
+            def __init__(self, inner):
+                self._inner = inner
+
+            def apply(self, key, value, ut, tid, sr):
+                applied_order.append(ut)
+                return self._inner.apply(key, value, ut, tid, sr)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        server.store = SpyStore(server.store)
         client = tiny_cluster.new_client(0, 0)
 
         def txs():

@@ -258,6 +258,14 @@ class TestConfigFromParams:
         with pytest.raises(SweepSpecError, match="unknown protocol"):
             config_from_params(dict(BASE, seed=1, protocol="3pc"))
 
+    def test_every_registered_protocol_is_a_valid_value(self):
+        from repro.protocols import protocol_names
+
+        for name in protocol_names():
+            config, protocol = config_from_params(dict(BASE, seed=1, protocol=name))
+            assert protocol == name
+            assert config.protocol_name == name
+
     def test_inline_fault_plan_resolves(self):
         plan = {"name": "p", "events": [{"at": 0.5, "action": "partition", "dc": 2}]}
         config, _ = config_from_params(dict(BASE, seed=1, faults=plan))
