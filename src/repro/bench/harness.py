@@ -240,6 +240,10 @@ class ExperimentResult:
     messages_total: int = 0
     messages_inter_dc: int = 0
     mean_cpu_utilization: float = 0.0
+    #: Wire bytes spent on causal metadata (snapshots, vectors, dep lists).
+    metadata_bytes_total: int = 0
+    #: Stale-read retry rounds across all clients (occult only; 0 elsewhere).
+    read_retries_total: int = 0
 
     @property
     def latency_mean_ms(self) -> float:
@@ -350,4 +354,6 @@ def summarize(cluster: Cluster, stats: SessionStats) -> ExperimentResult:
         messages_total=cluster.network.metrics.messages_total,
         messages_inter_dc=cluster.network.metrics.messages_inter_dc,
         mean_cpu_utilization=sum(utilizations) / len(utilizations) if utilizations else 0.0,
+        metadata_bytes_total=cluster.network.metrics.metadata_bytes_total,
+        read_retries_total=sum(client.read_retries for client in cluster.clients),
     )

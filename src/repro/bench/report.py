@@ -8,7 +8,7 @@ a small systems knowledge base.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Any, Iterable, List, Mapping, Sequence, Tuple
 
 from .experiments import (
     BlockingResult,
@@ -271,6 +271,53 @@ def render_cache_ablation(rows: List[CacheAblationResult]) -> str:
         ],
     )
     return f"Ablation — client write cache (UST alone is not causal)\n{table}"
+
+
+def render_design_space(summary: Mapping[str, Any]) -> str:
+    """The cross-protocol trade-off study (docs/design_space.md).
+
+    One row per (protocol, workload) group of the ``design_space`` sweep
+    summary: throughput and latency, update-visibility freshness, the
+    causal-metadata wire bytes amortised per measured transaction, and
+    stale-read retry rounds — the axes along which the registered variants
+    trade against each other.
+    """
+    rows = []
+    for group in summary["groups"]:
+        params = group["params"]
+        metrics = group["metrics"]
+
+        def _mean(name: str) -> float:
+            stats = metrics.get(name)
+            return stats["mean"] if stats else 0.0
+
+        transactions = max(_mean("transactions_measured"), 1.0)
+        rows.append(
+            (
+                params.get("protocol", "?"),
+                params.get("workload") or "default",
+                f"{_mean('throughput'):,.0f}",
+                f"{_mean('latency_mean') * 1000:.2f}",
+                f"{_mean('latency_p99') * 1000:.2f}",
+                f"{_mean('visibility_mean') * 1000:.1f}",
+                f"{_mean('metadata_bytes_total') / transactions:,.0f}",
+                f"{_mean('read_retries_total'):,.0f}",
+            )
+        )
+    table = format_table(
+        [
+            "protocol",
+            "workload",
+            "tx/s",
+            "lat (ms)",
+            "p99 (ms)",
+            "vis (ms)",
+            "meta B/tx",
+            "retries",
+        ],
+        rows,
+    )
+    return f"Design space — protocol x workload trade-offs\n{table}"
 
 
 # ----------------------------------------------------------------------

@@ -61,7 +61,9 @@ from .harness import run_experiment
 #: v2: the ``workload`` profile parameter joined the run-parameter namespace.
 #: v3: ``protocol`` values resolve through the protocol registry (the server
 #: monolith was decomposed into the repro.protocols engine).
-CACHE_VERSION = 3
+#: v4: results gained metadata-bytes and read-retry totals, and versions
+#: carry dependency summaries (cure/occult/cops joined the registry).
+CACHE_VERSION = 4
 
 #: Run parameters and their defaults (mirroring ``repro run``'s flags).
 #: ``partitions_per_tx=None`` means "min(4, machines)", the CLI's behaviour.

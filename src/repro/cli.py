@@ -50,7 +50,11 @@ FIGURES = (
     "capacity",
     "blocking",
     "partition",
+    "design_space",
 )
+
+#: The committed sweep spec behind ``repro figure design_space``.
+DESIGN_SPACE_SPEC = pathlib.Path("examples/sweeps/design_space.json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,7 +251,10 @@ def format_result(result: ExperimentResult) -> str:
         f"cpu utilization     {result.mean_cpu_utilization:.2f}",
         f"UST staleness       {result.ust_staleness * 1000:.1f} ms",
         f"messages (inter-DC) {result.messages_total:,} ({result.messages_inter_dc:,})",
+        f"metadata bytes      {result.metadata_bytes_total:,}",
     ]
+    if result.read_retries_total > 0:
+        lines.append(f"stale-read retries  {result.read_retries_total:,}")
     if result.blocking_mean > 0:
         lines.append(
             f"read blocking       {result.blocking_mean * 1000:.1f} ms mean, "
@@ -303,9 +310,10 @@ def cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: consistency invariants under load; exit 1 on violations.
 
     Each protocol is checked against the consistency level it *claims* in
-    the registry: full TCC for ``paris``/``bpr``/``gst_local``, session
-    guarantees for ``eventual`` (which renounces causal snapshots by
-    design; see docs/protocol.md).
+    the registry: full TCC for ``paris``/``bpr``/``gst_local``/``cure``/
+    ``occult``, session guarantees for ``eventual`` and ``cops`` (which
+    renounce causal snapshots by design; see docs/protocol.md and
+    docs/design_space.md).
     """
     from .protocols import get_protocol
 
@@ -454,7 +462,10 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     """``repro protocols``: the registered protocol catalogue."""
     from .protocols import all_protocols
 
-    protocols = all_protocols()
+    # Sorted by name: registration order is an implementation detail of the
+    # import sequence, and scripted consumers (CI's protocol matrix) want a
+    # stable listing.
+    protocols = sorted(all_protocols(), key=lambda spec: spec.name)
     if args.names:
         for spec in protocols:
             print(spec.name)
@@ -532,9 +543,32 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(report.render_blocking(exp.blocking_time(scale)))
     elif name == "partition":
         print(report.render_partition_stall(exp.partition_stall(scale)))
+    elif name == "design_space":
+        print(report.render_design_space(design_space_summary()))
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(name)
     return 0
+
+
+def design_space_summary(
+    spec_path: pathlib.Path = DESIGN_SPACE_SPEC,
+    results_dir: str = "sweep_results",
+    workers: int = 1,
+) -> dict:
+    """Execute (or resume) the committed design-space sweep and aggregate it.
+
+    The sweep engine's content-addressed cache makes re-rendering the figure
+    free once the runs exist; ``spec_path`` resolves relative to the current
+    directory, so run this from the repository root (as CI does).
+    """
+    if not spec_path.exists():
+        raise SystemExit(
+            f"design-space spec not found: {spec_path} "
+            "(run from the repository root)"
+        )
+    spec = sweep.SweepSpec.load(spec_path)
+    report_ = sweep.execute_sweep(spec, results_dir, workers=workers)
+    return results.aggregate(report_.records, spec=spec)
 
 
 _COMMANDS = {

@@ -99,6 +99,8 @@ class PaRiSClient(Node):
         self._read_set: Dict[str, ReadResult] = {}
         self.transactions_committed = 0
         self.transactions_finished = 0
+        #: Stale-read retry rounds (only the occult client increments this).
+        self.read_retries = 0
 
     # ------------------------------------------------------------------
     # Session state
@@ -120,6 +122,24 @@ class PaRiSClient(Node):
         covered by the write cache, not the snapshot.
         """
         return self.last_snapshot
+
+    def _merge_snapshot(self, snapshot) -> None:
+        """Fold a server-assigned snapshot into ``last_snapshot``.
+
+        Scalar snapshots merge by max; the cure client overrides this with
+        an entrywise-max merge over its vector snapshot.
+        """
+        if snapshot > self.last_snapshot:
+            self.last_snapshot = snapshot
+
+    def _commit_deps(self):
+        """Dependency summary shipped with COMMIT-TX (``None`` for PaRiS).
+
+        Variants that track causal dependencies client-side (cure's per-DC
+        vector, occult's shardstamps, cops' nearest dependencies) override
+        this; the coordinator finalizes it at decision time.
+        """
+        return None
 
     def _prune_cache(self) -> None:
         """Drop cached own-writes the stable snapshot now covers (Alg. 1 l. 6).
@@ -146,8 +166,7 @@ class PaRiSClient(Node):
         self._snapshot = resp.snapshot
         self._read_set = {}
         self._write_set = {}
-        if resp.snapshot > self.last_snapshot:
-            self.last_snapshot = resp.snapshot
+        self._merge_snapshot(resp.snapshot)
         self._prune_cache()
         return TransactionHandle(tid=resp.tid, snapshot=resp.snapshot)
 
@@ -249,8 +268,7 @@ class PaRiSClient(Node):
     def _on_one_shot(
         self, resp: OneShotReadResp, results: Dict[str, ReadResult]
     ) -> Dict[str, ReadResult]:
-        if resp.snapshot > self.last_snapshot:
-            self.last_snapshot = resp.snapshot
+        self._merge_snapshot(resp.snapshot)
         self._prune_cache()
         for key, version in resp.versions:
             fresher = self.cache.lookup(key)
@@ -301,6 +319,7 @@ class PaRiSClient(Node):
             tid=tid,
             highest_write_ts=self.highest_write_ts,
             writes=tuple(self._write_set.items()),
+            deps=self._commit_deps(),
         )
         future = self.request(self.coordinator, request)
         return map_future(future, self._on_committed)

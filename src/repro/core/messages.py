@@ -6,6 +6,14 @@ mutated after it is "serialized" (sent).  Slots matter: the fabric allocates
 one message object per protocol step, so the per-instance ``__dict__`` of a
 slotless dataclass is pure hot-path overhead (``tests/test_messages_slots.py``
 guards the invariant).
+
+Every message also reports its **causal-metadata footprint** via
+``metadata_bytes()``: the wire bytes spent on snapshots, timestamps,
+dependency vectors and shardstamps (8 bytes per timestamp, 16 per
+``(key, ut)`` dependency pair), excluding keys and values.  The network
+fabric sums these into ``NetworkMetrics.metadata_bytes_total`` so the
+design-space study can compare the metadata cost of a scalar UST (PaRiS)
+against per-DC vectors (cure) and explicit dependency lists (cops).
 """
 
 from __future__ import annotations
@@ -19,6 +27,34 @@ from ..storage.version import TransactionId, Version
 WritePairs = Tuple[Tuple[str, Any], ...]
 
 
+def _ts_bytes(value: Any) -> int:
+    """Wire bytes of one snapshot/timestamp: 8 per scalar, 8 per vector entry."""
+    if value is None:
+        return 0
+    if isinstance(value, tuple):
+        return 8 * len(value)
+    return 8
+
+
+def _deps_bytes(deps: Any) -> int:
+    """Wire bytes of a dependency annotation.
+
+    ``None`` (scalar protocols) costs nothing; a per-DC vector of ints costs
+    8 bytes per entry; a tuple of ``(partition, ts)`` / ``(key, ut)`` pairs
+    costs 16 bytes per pair (8-byte id hash + 8-byte timestamp).
+    """
+    if not deps:
+        return 0
+    if isinstance(deps[0], tuple):
+        return 16 * len(deps)
+    return 8 * len(deps)
+
+
+def _versions_meta_bytes(versions: Tuple[Tuple[str, Version], ...]) -> int:
+    """Per-version metadata shipped with read responses: ut + deps."""
+    return sum(8 + _deps_bytes(v.deps) for _, v in versions)
+
+
 # ----------------------------------------------------------------------
 # Client <-> coordinator (Algorithm 1 / Algorithm 2)
 # ----------------------------------------------------------------------
@@ -26,7 +62,11 @@ WritePairs = Tuple[Tuple[str, Any], ...]
 class StartTxReq:
     """START-TX: carries the client's highest observed stable snapshot."""
 
-    client_snapshot: int
+    client_snapshot: Any
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.client_snapshot)
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,7 +74,11 @@ class StartTxResp:
     """Transaction id and the snapshot assigned by the coordinator."""
 
     tid: TransactionId
-    snapshot: int
+    snapshot: Any
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.snapshot)
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +88,10 @@ class ReadReq:
     tid: TransactionId
     keys: Tuple[str, ...]
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 0
+
 
 @dataclass(frozen=True, slots=True)
 class ReadResp:
@@ -51,14 +99,28 @@ class ReadResp:
 
     versions: Tuple[Tuple[str, Version], ...]
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _versions_meta_bytes(self.versions)
+
 
 @dataclass(frozen=True, slots=True)
 class CommitReq:
-    """COMMIT-TX: the buffered write set plus the client's last commit time."""
+    """COMMIT-TX: the buffered write set plus the client's last commit time.
+
+    ``deps`` carries the client-side dependency summary of the variants that
+    track one (cure: per-DC vector; occult/cops: explicit pairs); the scalar
+    protocols leave it ``None``.
+    """
 
     tid: TransactionId
     highest_write_ts: int
     writes: WritePairs
+    deps: Any = None
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + _deps_bytes(self.deps)
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +129,10 @@ class CommitResp:
 
     tid: TransactionId
     commit_ts: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +147,10 @@ class FinishTxMsg:
 
     tid: TransactionId
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 0
+
 
 @dataclass(frozen=True, slots=True)
 class OneShotReadReq:
@@ -91,16 +161,24 @@ class OneShotReadReq:
     client round-trip for START-TX, and no context survives the call.
     """
 
-    client_snapshot: int
+    client_snapshot: Any
     keys: Tuple[str, ...]
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.client_snapshot)
 
 
 @dataclass(frozen=True, slots=True)
 class OneShotReadResp:
     """Snapshot used and the versions read."""
 
-    snapshot: int
+    snapshot: Any
     versions: Tuple[Tuple[str, Version], ...]
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.snapshot) + _versions_meta_bytes(self.versions)
 
 
 # ----------------------------------------------------------------------
@@ -111,14 +189,29 @@ class ReadSliceReq:
     """Per-partition slice of a parallel read at a given snapshot."""
 
     keys: Tuple[str, ...]
-    snapshot: int
+    snapshot: Any
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.snapshot)
 
 
 @dataclass(frozen=True, slots=True)
 class ReadSliceResp:
-    """Freshest visible version per requested key."""
+    """Freshest visible version per requested key.
+
+    ``shardstamp`` is the serving replica's stable cut for its partition;
+    only ``occult`` sets it (clients validate reads against it), the other
+    protocols leave the zero default.
+    """
 
     versions: Tuple[Tuple[str, Version], ...]
+    shardstamp: int = 0
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        extra = 8 if self.shardstamp else 0
+        return extra + _versions_meta_bytes(self.versions)
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,9 +219,13 @@ class PrepareReq:
     """2PC phase one for one partition's slice of the write set."""
 
     tid: TransactionId
-    snapshot: int
+    snapshot: Any
     highest_ts: int
     writes: WritePairs
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return _ts_bytes(self.snapshot) + 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,6 +234,10 @@ class PrepareResp:
 
     tid: TransactionId
     proposed_ts: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,6 +248,12 @@ class CommitTxMsg:
     commit_ts: int
     #: Sim time at which the coordinator decided ct (visibility probes).
     decided_at: float
+    #: Finalized dependency annotation to install with the versions.
+    deps: Any = None
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + _deps_bytes(self.deps)
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +268,11 @@ class ReplicatedTx:
     writes: WritePairs
     source_dc: int
     decided_at: float
+    deps: Any = None
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + _deps_bytes(self.deps)
 
 
 @dataclass(frozen=True, slots=True)
@@ -175,12 +287,52 @@ class ReplicateMsg:
     groups: Tuple[ReplicatedTx, ...]
     watermark: int
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + sum(group.metadata_bytes() for group in self.groups)
+
 
 @dataclass(frozen=True, slots=True)
 class HeartbeatMsg:
     """Idle-period version-clock announcement (Algorithm 4 line 21)."""
 
     ts: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8
+
+
+# ----------------------------------------------------------------------
+# Explicit dependency checking (``cops`` variant)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class DepCheckReq:
+    """Is a version of ``key`` with ``ut >= ut`` installed at the target?
+
+    COPS/Eiger-style replication asks the local replica of each dependency's
+    partition before applying a remote transaction; the target replies only
+    once the dependency is satisfied (parking the check until then).
+    """
+
+    key: str
+    ut: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class DepCheckResp:
+    """The dependency is satisfied at the responding replica."""
+
+    key: str
+    ut: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 16
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +351,10 @@ class AggUpMsg:
     stable_min: int
     oldest_active: int
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 16
+
 
 @dataclass(frozen=True, slots=True)
 class DcGstMsg:
@@ -208,6 +364,10 @@ class DcGstMsg:
     gst: int
     oldest_active: int
 
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 16
+
 
 @dataclass(frozen=True, slots=True)
 class UstBroadcastMsg:
@@ -215,6 +375,10 @@ class UstBroadcastMsg:
 
     ust: int
     oldest_global: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -228,3 +392,54 @@ class GstBroadcastMsg:
     """
 
     gst: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8
+
+
+# ----------------------------------------------------------------------
+# Vector stabilization plane (``cure`` variant)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class AggUpVecMsg:
+    """Child -> parent in the intra-DC tree: entrywise-min applied vectors."""
+
+    partition: int
+    stable_vec: Tuple[int, ...]
+    oldest_active: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + 8 * len(self.stable_vec)
+
+
+@dataclass(frozen=True, slots=True)
+class DcVecMsg:
+    """Root -> remote roots: this DC's aggregated per-source stable vector."""
+
+    dc_id: int
+    stable_vec: Tuple[int, ...]
+    oldest_active: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + 8 * len(self.stable_vec)
+
+
+@dataclass(frozen=True, slots=True)
+class UsvBroadcastMsg:
+    """Root -> subtree: the new Universal Stable Vector and GC bound.
+
+    The cure variant's replacement for :class:`UstBroadcastMsg`: entry ``d``
+    bounds the commit timestamps from source DC ``d`` that every replica in
+    the system has applied, so a vector snapshot can be entrywise fresher
+    than the scalar UST (which is the minimum over all entries).
+    """
+
+    usv: Tuple[int, ...]
+    oldest_global: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8 + 8 * len(self.usv)

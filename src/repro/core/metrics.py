@@ -34,3 +34,6 @@ class ServerMetrics:
     ust_advances: int = 0
     versions_collected: int = 0
     contexts_expired: int = 0
+    #: Remote transaction groups whose apply waited on a dependency check
+    #: (COPS-style explicit dependency checking only).
+    dep_checks_deferred: int = 0

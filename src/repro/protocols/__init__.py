@@ -16,10 +16,13 @@ paris       the paper's protocol (default components)
 bpr         Blocking Partial Replication (fresh snapshots, blocking reads)
 eventual    no causal wait — the latency/freshness upper-bound baseline
 gst_local   per-DC stable time, blocking on remote-partition reads
+cure        per-DC dependency vectors; vector snapshots fresher than the UST
+occult      client-side validation: wait-free servers, clients retry stale reads
+cops        explicit dependency checking at apply time; no stabilization plane
 golden      refactor-equivalence digests of every protocol's trajectory
 ========== ===================================================================
 
-Importing this package registers the four built-in protocols.  See
+Importing this package registers the seven built-in protocols.  See
 docs/protocol.md for the how-to-add-a-protocol recipe.
 """
 
@@ -39,20 +42,31 @@ from .registry import (
     unregister,
 )
 
-# Built-in protocol variants register themselves on import.
+# Built-in protocol variants register themselves on import.  Order matters:
+# registry iteration order is registration order, and tests pin the first
+# four names, so new variants register after the original quartet.
 from .paris import PaRiSServer
 from .bpr import BPRClient, BPRServer
 from .eventual import EventualClient, EventualServer
 from .gst_local import GstLocalServer
+from .cure import CureClient, CureServer
+from .occult import OccultClient, OccultServer
+from .cops import CopsClient, CopsServer
 
 __all__ = [
     "BPRClient",
     "BPRServer",
     "BlockingReadProtocol",
     "ComponentSet",
+    "CopsClient",
+    "CopsServer",
+    "CureClient",
+    "CureServer",
     "EventualClient",
     "EventualServer",
     "GstLocalServer",
+    "OccultClient",
+    "OccultServer",
     "PaRiSServer",
     "ProtocolServer",
     "ProtocolSpec",

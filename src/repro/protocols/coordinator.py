@@ -159,7 +159,7 @@ class TxCoordinator:
         """Algorithm 2, COMMIT: run 2PC over the write partitions."""
         server = self.server
         snapshot = self.context_snapshot(msg.tid)
-        highest = max(snapshot, msg.highest_write_ts)
+        highest = max(server.reads.snapshot_upper_bound(snapshot), msg.highest_write_ts)
         if not msg.writes:
             # Defensive: Algorithm 1 only commits when WS is non-empty.
             self.contexts.pop(msg.tid, None)
@@ -190,10 +190,18 @@ class TxCoordinator:
             """2PC decision: max of the votes, then notify every cohort."""
             commit_ts = max(response.proposed_ts for response in responses)
             decided_at = server.sim.now
+            final_deps = server.reads.finalize_deps(
+                msg.deps, commit_ts, tuple(slices)
+            )
             for target in targets:
                 server.cast(
                     target,
-                    CommitTxMsg(tid=msg.tid, commit_ts=commit_ts, decided_at=decided_at),
+                    CommitTxMsg(
+                        tid=msg.tid,
+                        commit_ts=commit_ts,
+                        decided_at=decided_at,
+                        deps=final_deps,
+                    ),
                 )
             self.contexts.pop(msg.tid, None)
             server.metrics.transactions_committed += 1
@@ -211,16 +219,16 @@ class TxCoordinator:
         self.contexts.pop(msg.tid, None)
 
     def context_snapshot(self, tid: TransactionId) -> int:
-        """Snapshot of a running transaction; falls back to the current UST.
+        """Snapshot of a running transaction; falls back per read protocol.
 
         The fallback covers contexts expired by the background cleanup: the
-        UST is monotonic, so a re-assigned snapshot is never older than the
-        one originally handed to the client.
+        stable cut is monotonic, so a re-assigned snapshot is never older
+        than the one originally handed to the client.
         """
         context = self.contexts.get(tid)
         if context is not None:
             return context.snapshot
-        return self.server.ust
+        return self.server.reads.fallback_snapshot()
 
     # ------------------------------------------------------------------
     # Cohort role (Algorithm 3, write path)
@@ -246,7 +254,7 @@ class TxCoordinator:
             raise KeyError(f"commit for unknown prepared transaction {msg.tid}")
         heapq.heappush(
             server.replication.committed,
-            (msg.commit_ts, msg.tid, prepared.writes, msg.decided_at),
+            (msg.commit_ts, msg.tid, prepared.writes, msg.decided_at, msg.deps),
         )
 
     # ------------------------------------------------------------------
@@ -263,10 +271,18 @@ class TxCoordinator:
         return None
 
     def oldest_active_snapshot(self) -> int:
-        """GC input: the oldest running transaction's snapshot, else the UST."""
+        """GC input: the oldest running transaction's snapshot, else the UST.
+
+        Snapshots are reduced to their scalar lower bound first, so vector
+        snapshots (cure) pin the GC horizon at their minimum entry.
+        """
+        reads = self.server.reads
         if self.contexts:
-            return min(context.snapshot for context in self.contexts.values())
-        return self.server.ust
+            return min(
+                reads.snapshot_lower_bound(context.snapshot)
+                for context in self.contexts.values()
+            )
+        return reads.snapshot_lower_bound(reads.fallback_snapshot())
 
     # ------------------------------------------------------------------
     # Maintenance / lifecycle

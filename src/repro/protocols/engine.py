@@ -72,12 +72,18 @@ from .stabilization import StabilizationService
 
 @dataclass(frozen=True)
 class ComponentSet:
-    """The four component classes composed into one protocol variant."""
+    """The four component classes composed into one protocol variant.
+
+    ``stabilization`` may be ``None``: a variant with no stabilization
+    plane at all (COPS-style explicit dependency checking) composes only
+    three components, and the engine skips the plane's timers, handlers
+    and crash hooks entirely.
+    """
 
     coordinator: Type[TxCoordinator] = TxCoordinator
     reads: Type[ReadProtocol] = ReadProtocol
     replication: Type[ReplicationPipeline] = ReplicationPipeline
-    stabilization: Type[StabilizationService] = StabilizationService
+    stabilization: Optional[Type[StabilizationService]] = StabilizationService
 
 
 class ProtocolServer(Node):
@@ -164,12 +170,15 @@ class ProtocolServer(Node):
         self.coordinator = kit.coordinator(self)
         self.reads = kit.reads(self, rngs.stream(f"probe.{address}"))
         self.replication = kit.replication(self)
-        self.stabilization = kit.stabilization(self)
+        self.stabilization = (
+            kit.stabilization(self) if kit.stabilization is not None else None
+        )
         cache = self._handler_cache
         cache.update(self.coordinator.dispatch())
         cache.update(self.reads.dispatch())
         cache.update(self.replication.dispatch())
-        cache.update(self.stabilization.dispatch())
+        if self.stabilization is not None:
+            cache.update(self.stabilization.dispatch())
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -186,7 +195,8 @@ class ProtocolServer(Node):
                 phase=self.timer_rng.uniform(0, protocol.replication_interval),
             )
         )
-        self.stabilization.start_timers(cancels)
+        if self.stabilization is not None:
+            self.stabilization.start_timers(cancels)
         cancels.append(sim.every(protocol.gc_interval, self._gc_tick))
         cancels.append(
             sim.every(protocol.tx_context_timeout / 2, self.coordinator.expire_contexts)
@@ -214,7 +224,8 @@ class ProtocolServer(Node):
         self.stop()
         self.pause_delivery()
         self.coordinator.on_crash()
-        self.stabilization.on_crash()
+        if self.stabilization is not None:
+            self.stabilization.on_crash()
         self.reads.on_crash()
 
     def recover(self) -> None:
@@ -327,6 +338,8 @@ class ProtocolServer(Node):
     @property
     def is_root(self) -> bool:
         """Whether this server is its DC's stabilization-tree root."""
+        if self.stabilization is None:
+            return False
         return self.stabilization.is_root
 
     @property

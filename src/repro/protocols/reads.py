@@ -125,6 +125,35 @@ class ReadProtocol:
             self.server.metrics.visibility.record(max(0.0, now - decided_at))
 
     # ------------------------------------------------------------------
+    # Snapshot shape hooks (vector-snapshot variants override these)
+    # ------------------------------------------------------------------
+    def fallback_snapshot(self):
+        """Snapshot to use when a transaction context is unknown/expired."""
+        return self.server.ust
+
+    def snapshot_lower_bound(self, snapshot) -> int:
+        """Scalar lower bound of a snapshot (identity for scalar snapshots).
+
+        Feeds the oldest-active-snapshot aggregation for GC: a vector
+        snapshot pins versions down to its *minimum* entry.
+        """
+        return snapshot
+
+    def snapshot_upper_bound(self, snapshot) -> int:
+        """Scalar upper bound of a snapshot, used to floor commit timestamps."""
+        return snapshot
+
+    def finalize_deps(self, deps, commit_ts: int, write_partitions) -> "object":
+        """Finalize a transaction's dependency annotation at decision time.
+
+        Called by the coordinator once the commit timestamp is decided;
+        variants fold in the transaction's own writes (so sibling writes of
+        one transaction become visible atomically).  Scalar protocols carry
+        no dependency metadata and return ``deps`` unchanged (``None``).
+        """
+        return deps
+
+    # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
     def on_stable_advance(self) -> None:

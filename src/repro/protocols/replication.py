@@ -42,8 +42,8 @@ class ReplicationPipeline:
 
     def __init__(self, server: "ProtocolServer") -> None:
         self.server = server
-        #: Min-heap of (commit_ts, tid, writes, decided_at) awaiting apply.
-        self.committed: List[Tuple[int, TransactionId, Tuple, float]] = []
+        #: Min-heap of (commit_ts, tid, writes, decided_at, deps) awaiting apply.
+        self.committed: List[Tuple[int, TransactionId, Tuple, float, Any]] = []
 
     def dispatch(self) -> Dict[type, Callable]:
         """Message types this component handles, as a bound-method table."""
@@ -62,8 +62,8 @@ class ReplicationPipeline:
         groups = self.pop_committed_up_to(upper_bound)
         if groups:
             batch: List[ReplicatedTx] = []
-            for commit_ts, tid, writes, decided_at in groups:
-                self.apply_writes(writes, commit_ts, tid, server.dc_id, decided_at)
+            for commit_ts, tid, writes, decided_at, deps in groups:
+                self.apply_writes(writes, commit_ts, tid, server.dc_id, decided_at, deps)
                 server.metrics.updates_applied_local += len(writes)
                 batch.append(
                     ReplicatedTx(
@@ -72,6 +72,7 @@ class ReplicationPipeline:
                         writes=writes,
                         source_dc=server.dc_id,
                         decided_at=decided_at,
+                        deps=deps,
                     )
                 )
             message = ReplicateMsg(groups=tuple(batch), watermark=upper_bound)
@@ -112,7 +113,7 @@ class ReplicationPipeline:
 
     def pop_committed_up_to(
         self, upper_bound: int
-    ) -> List[Tuple[int, TransactionId, Tuple, float]]:
+    ) -> List[Tuple[int, TransactionId, Tuple, float, Any]]:
         """Drain the committed queue up to ``upper_bound``, in ct order."""
         groups = []
         committed = self.committed
@@ -127,11 +128,12 @@ class ReplicationPipeline:
         tid: TransactionId,
         source_dc: int,
         decided_at: float,
+        deps: Any = None,
     ) -> None:
         """Install one transaction's writes into the multiversion store."""
         server = self.server
         for key, value in writes:
-            server.store.apply(key, value, commit_ts, tid, source_dc)
+            server.store.apply(key, value, commit_ts, tid, source_dc, deps)
         if server.tracer.enabled:
             server.tracer.emit(
                 server.sim.now, "apply", server.address,
@@ -159,7 +161,12 @@ class ReplicationPipeline:
         server = self.server
         for group in msg.groups:
             self.apply_writes(
-                group.writes, group.commit_ts, group.tid, group.source_dc, group.decided_at
+                group.writes,
+                group.commit_ts,
+                group.tid,
+                group.source_dc,
+                group.decided_at,
+                group.deps,
             )
             server.metrics.updates_applied_remote += len(group.writes)
         self.advance_peer_clock(src, msg.watermark)

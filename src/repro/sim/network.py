@@ -77,6 +77,9 @@ class NetworkMetrics:
 
     messages_total: int = 0
     messages_inter_dc: int = 0
+    #: Causal-metadata wire bytes (snapshots, vectors, dependency lists);
+    #: summed from each payload's ``metadata_bytes()`` when it has one.
+    metadata_bytes_total: int = 0
     by_type: Dict[str, int] = field(default_factory=dict)
 
     def record(self, payload: Any, inter_dc: bool) -> None:
@@ -84,6 +87,9 @@ class NetworkMetrics:
         self.messages_total += 1
         if inter_dc:
             self.messages_inter_dc += 1
+        meta = getattr(payload, "metadata_bytes", None)
+        if meta is not None:
+            self.metadata_bytes_total += meta()
         name = type(payload).__name__
         self.by_type[name] = self.by_type.get(name, 0) + 1
 

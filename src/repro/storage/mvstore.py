@@ -93,9 +93,17 @@ class MultiVersionStore:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def apply(self, key: str, value: Any, ut: int, tid: TransactionId, sr: int) -> Version:
+    def apply(
+        self,
+        key: str,
+        value: Any,
+        ut: int,
+        tid: TransactionId,
+        sr: int,
+        deps: Any = None,
+    ) -> Version:
         """Install a new version (the UPDATE function of Algorithm 4)."""
-        version = Version(key=key, value=value, ut=ut, tid=tid, sr=sr)
+        version = Version(key=key, value=value, ut=ut, tid=tid, sr=sr, deps=deps)
         self._chain(key).insert(version)
         self.writes_applied += 1
         return version
@@ -122,6 +130,22 @@ class MultiVersionStore:
         if chain is None:
             return None
         return chain.latest()
+
+    def read_visible(self, key: str, visible) -> Optional[Version]:
+        """Freshest version of ``key`` satisfying the ``visible`` predicate.
+
+        Vector-snapshot protocols (cure) cannot express visibility as a
+        scalar ``ut`` cut, so this scans the chain newest-first and returns
+        the first version the predicate accepts.  Chains stay short under
+        GC, keeping the scan cheap.
+        """
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        for version in reversed(chain.versions):
+            if visible(version):
+                return version
+        return None
 
     def versions_of(self, key: str) -> List[Version]:
         """All live versions of ``key``, oldest first (copy)."""

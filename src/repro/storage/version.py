@@ -28,6 +28,11 @@ class Version:
     ut: int
     tid: TransactionId
     sr: int
+    #: Optional per-version dependency metadata.  The scalar-snapshot
+    #: protocols leave it ``None``; cure stores a per-DC dependency vector
+    #: and cops a tuple of ``(key, ut)`` pairs.  Not part of the total
+    #: order — two versions never share ``(ut, tid, sr)``.
+    deps: Any = None
 
     def order_key(self) -> Tuple[int, TransactionId, int]:
         """Total order over versions of the same key."""

@@ -36,7 +36,7 @@ def run_workload_with_oracle(config, protocol: str) -> ConsistencyOracle:
 
 
 class TestValidProtocolsAreClean:
-    @pytest.mark.parametrize("protocol", ["paris", "bpr"])
+    @pytest.mark.parametrize("protocol", ["paris", "bpr", "cure", "occult"])
     def test_no_violations_under_workload(self, protocol):
         config = small_test_config(
             n_dcs=3, machines_per_dc=2, keys_per_partition=15, threads_per_client=1
@@ -44,6 +44,16 @@ class TestValidProtocolsAreClean:
         oracle = run_workload_with_oracle(config, protocol)
         assert len(oracle.commits) > 20, "workload too small to be meaningful"
         violations = ConsistencyChecker(oracle).check_all()
+        assert violations == [], "\n".join(str(v) for v in violations[:10])
+
+    def test_cops_session_guarantees_hold(self):
+        """cops claims (and delivers) session guarantees, not causal snapshots."""
+        config = small_test_config(
+            n_dcs=3, machines_per_dc=2, keys_per_partition=15, threads_per_client=1
+        ).with_(warmup=0.6, duration=0.8)
+        oracle = run_workload_with_oracle(config, "cops")
+        assert len(oracle.commits) > 20, "workload too small to be meaningful"
+        violations = ConsistencyChecker(oracle).check_level("session")
         assert violations == [], "\n".join(str(v) for v in violations[:10])
 
     def test_paris_clean_with_hot_keys_and_multi_dc(self):
@@ -101,11 +111,14 @@ class TestBrokenProtocolsAreCaught:
             reader.finish()
             yield 0.002
 
-    def _run_race(self, protocol, oracle):
+    def _run_race(self, protocol, oracle, tweak=None):
         cluster = build_cluster(self._racy_config(), protocol=protocol, oracle=oracle)
         cluster.sim.run(until=1.0)
         writer = cluster.new_client(0, 0)
         reader = cluster.new_client(1, 1)
+        if tweak is not None:
+            tweak(writer)
+            tweak(reader)
         done = []
         cluster.sim.spawn(self._write_pairs(writer, 12, done))
         process = cluster.sim.spawn(self._poll_reads(reader, done))
@@ -130,6 +143,39 @@ class TestBrokenProtocolsAreCaught:
         oracle = ConsistencyOracle()
         self._run_race("paris", oracle)
         assert ConsistencyChecker(oracle).check_all() == []
+
+    def test_occult_without_client_validation_is_caught(self):
+        """Occult's servers are wait-free: the whole TCC obligation lives in
+        the client's shardstamp validation.  Disabling it (an instance
+        attribute shadows the class switch) exposes the server-side fracture,
+        which the full checker must catch — while the session guarantees the
+        cache and per-replica apply order provide still hold."""
+
+        def disable_validation(client):
+            client.validation_enabled = False
+
+        oracle = ConsistencyOracle()
+        self._run_race("occult", oracle, tweak=disable_validation)
+        violations = ConsistencyChecker(oracle).check_all()
+        kinds = {violation.kind for violation in violations}
+        assert "causal-snapshot" in kinds
+        assert ConsistencyChecker(oracle).check_level("session") == []
+
+    @pytest.mark.parametrize("protocol", ["occult", "cure"])
+    def test_same_race_is_clean_on_validating_variants(self, protocol):
+        """The identical race on the real variants: occult's validation
+        retries the stale round, cure's vector snapshot pins both keys."""
+        oracle = ConsistencyOracle()
+        self._run_race(protocol, oracle)
+        assert ConsistencyChecker(oracle).check_all() == []
+
+    def test_same_race_keeps_cops_session_clean(self):
+        """cops never claims causal snapshots; its session guarantees must
+        survive the race (its dep-gated replication is about apply order,
+        not read-time snapshots)."""
+        oracle = ConsistencyOracle()
+        self._run_race("cops", oracle)
+        assert ConsistencyChecker(oracle).check_level("session") == []
 
     def test_cacheless_client_breaks_read_your_writes(self, tiny_config):
         class NoCacheClient(PaRiSClient):

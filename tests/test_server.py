@@ -221,9 +221,9 @@ class TestApplyLoop:
             def __init__(self, inner):
                 self._inner = inner
 
-            def apply(self, key, value, ut, tid, sr):
+            def apply(self, key, value, ut, tid, sr, deps=None):
                 applied_order.append(ut)
-                return self._inner.apply(key, value, ut, tid, sr)
+                return self._inner.apply(key, value, ut, tid, sr, deps)
 
             def __getattr__(self, name):
                 return getattr(self._inner, name)
