@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Macro benchmark of the big-run tier: end-to-end simulation + streaming check.
+
+Where ``bench_kernel_micro.py`` times isolated hot paths, this suite times
+the whole stack the ``--big`` tier stands on (docs/scaling.md): a full
+simulated PaRiS run recording its consistency events through the
+:class:`~repro.consistency.streaming.StreamingOracle` (windowed inline
+checking + JSONL trace spill), then a second pass re-checking the persisted
+trace.  Four rate metrics, higher is better:
+
+* ``macro_tx_per_s``     — committed+finished transactions per wall-clock
+  second of the end-to-end run (simulation, oracle, checker, spill);
+* ``macro_ops_per_s``    — recorded consistency events (reads + commits)
+  per wall-clock second of the same run;
+* ``check_events_per_s`` — events per second of the trace re-check pass
+  (``repro check --trace-in`` throughput);
+* ``ops_per_mb_rss``     — recorded events per MB of peak RSS, the memory
+  side of the O(window) claim (inverted so the perf gate's
+  higher-is-better rule covers memory regressions too).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_macro.py \
+        [--scale smoke|big] [--repeats N] [--out BENCH_macro.json]
+
+CI runs ``--scale smoke`` and gates the result against the committed
+``BENCH_macro.json`` with a loose cross-machine tolerance; refresh the
+baseline with ``--scale big --out BENCH_macro.json`` on an idle machine.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import time
+from typing import Dict, Optional, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import small_test_config  # noqa: E402
+from repro.bench import runner  # noqa: E402
+from repro.bench.harness import run_experiment  # noqa: E402
+from repro.consistency.streaming import (  # noqa: E402
+    StreamingChecker,
+    StreamingOracle,
+    check_trace,
+)
+from repro.sim.trace import TraceWriter  # noqa: E402
+
+#: Simulated-run shape by scale.  ``smoke`` keeps the CI job under ~a minute;
+#: ``big`` is what the committed BENCH_macro.json baseline is recorded at.
+#: Checker cost per event grows with the in-window version population
+#: (commit rate x window), so the big tier scales duration/threads and
+#: keeps the window at 0.5s — large enough to exercise retirement
+#: continuously, small enough that a baseline records in minutes.
+SCALES: Dict[str, Dict[str, float]] = {
+    "smoke": {
+        "warmup": 0.3,
+        "duration": 0.7,
+        "keys_per_partition": 50,
+        "threads_per_client": 2,
+        "window": 0.5,
+    },
+    "big": {
+        "warmup": 0.5,
+        "duration": 2.0,
+        "keys_per_partition": 100,
+        "threads_per_client": 3,
+        "window": 0.5,
+    },
+}
+
+
+def peak_rss_mb() -> float:
+    """Peak RSS of this process in MB (``ru_maxrss`` is KB on Linux)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def bench_big_run(params: Dict[str, float], trace_path: pathlib.Path) -> Tuple[dict, float]:
+    """One end-to-end big-tier run; returns (counters, elapsed seconds)."""
+    config = small_test_config(
+        keys_per_partition=int(params["keys_per_partition"]),
+        threads_per_client=int(params["threads_per_client"]),
+    ).with_(warmup=params["warmup"], duration=params["duration"])
+    checker = StreamingChecker(window=params["window"], level="tcc")
+    started = time.perf_counter()
+    with TraceWriter(trace_path) as sink:
+        oracle = StreamingOracle(sink=sink, checker=checker)
+        result = run_experiment(config, protocol="paris", oracle=oracle)
+        events = sink.count
+    elapsed = time.perf_counter() - started
+    assert not checker.violations, checker.violations[:5]
+    counters = {
+        "transactions": result.transactions_measured,
+        "events": events,
+        "reads": oracle.reads_recorded,
+        "commits": oracle.commits_recorded,
+    }
+    return counters, elapsed
+
+
+def bench_check_trace(trace_path: pathlib.Path, window: float) -> Tuple[int, float]:
+    """Re-check the spilled trace; returns (events, elapsed seconds)."""
+    started = time.perf_counter()
+    checker = check_trace(trace_path, window=window, level="tcc")
+    elapsed = time.perf_counter() - started
+    assert not checker.violations, checker.violations[:5]
+    return checker.reads_checked + checker.commits_checked, elapsed
+
+
+def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Run the macro suite ``repeats`` times; keep each metric's best rate."""
+    params = SCALES[scale]
+    best: Dict[str, Dict[str, float]] = {}
+
+    def record(name: str, rate: float, unit: str, ops: float, seconds: float) -> None:
+        """Keep the best observed rate for ``name``."""
+        entry = best.get(name)
+        if entry is None or rate > entry["rate"]:
+            best[name] = {
+                "rate": round(rate, 1),
+                "unit": unit,
+                "ops": int(ops),
+                "seconds": round(seconds, 6),
+            }
+
+    with tempfile.TemporaryDirectory(prefix="bench_macro_") as tmp:
+        trace_path = pathlib.Path(tmp) / "trace.jsonl"
+        for _ in range(repeats):
+            counters, elapsed = bench_big_run(params, trace_path)
+            record("macro_tx_per_s", counters["transactions"] / elapsed, "tx/s",
+                   counters["transactions"], elapsed)
+            record("macro_ops_per_s", counters["events"] / elapsed, "events/s",
+                   counters["events"], elapsed)
+            checked, check_elapsed = bench_check_trace(trace_path, params["window"])
+            record("check_events_per_s", checked / check_elapsed, "events/s",
+                   checked, check_elapsed)
+        # Peak RSS is process-wide and monotonic, so measure it once after
+        # all runs: events/MB of the largest footprint any repeat reached.
+        rss = peak_rss_mb()
+        events = best["macro_ops_per_s"]["ops"]
+        record("ops_per_mb_rss", events / rss if rss > 0 else float("inf"),
+               "events/MB", events, rss)
+
+    for name, entry in best.items():
+        print(
+            f"{name:<20} {entry['rate']:>14.1f} {entry['unit']}  "
+            f"({entry['ops']} ops, best of {repeats})"
+        )
+    return best
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Run the macro benchmark; optionally persist a baseline JSON."""
+    parser = runner.script_parser(
+        __doc__.split("\n", 1)[0], scales=sorted(SCALES), default_scale="big"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+    metrics = run_suite(args.scale, max(1, args.repeats))
+    document = {
+        "suite": "macro",
+        "schema": 1,
+        "scale": args.scale,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "metrics": metrics,
+    }
+    if args.out:
+        path = runner.write_json(args.out, document)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,16 @@
 Commands
 --------
 ``run``       Run one simulated experiment and print its summary
-              (``--faults plan.json`` applies a fault schedule).
+              (``--faults plan.json`` applies a fault schedule; ``--big``
+              switches to the streaming big-run tier: O(window) windowed
+              consistency checking plus an optional ``--trace-out`` spill —
+              see docs/scaling.md).
 ``compare``   Run PaRiS and BPR on the same configuration, side by side.
 ``check``     Run a workload under the consistency oracle and report
               violations (exit status 1 if any are found); also accepts
-              ``--faults``.
+              ``--faults``.  ``--trace-out`` persists the checked history
+              as a JSONL trace; ``--trace-in`` skips the simulation and
+              re-checks a persisted trace instead.
 ``chaos``     Generate (or load) a fault schedule, run a workload under it,
               and verify consistency survived.
 ``sweep``     Execute a declarative experiment grid (JSON spec) across worker
@@ -72,6 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the result as JSON instead of text"
     )
     _add_faults_arg(run_cmd)
+    run_cmd.add_argument(
+        "--big",
+        action="store_true",
+        help="big-run tier: stream consistency events through the windowed "
+        "checker (O(window) memory) instead of the in-memory oracle; "
+        "exits 1 on violations (docs/scaling.md)",
+    )
+    run_cmd.add_argument(
+        "--window",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="visibility window of the streaming checker in simulated "
+        "seconds of commit time (default: 1.0; only with --big)",
+    )
+    run_cmd.add_argument(
+        "--trace-out",
+        metavar="TRACE_JSONL",
+        default=None,
+        help="also spill the consistency event stream to this JSONL file "
+        "(re-checkable with 'repro check --trace-in'; only with --big)",
+    )
 
     compare_cmd = commands.add_parser(
         "compare", help="run several protocols on one config, side by side"
@@ -90,6 +117,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(check_cmd)
     _add_protocol_arg(check_cmd)
     _add_faults_arg(check_cmd)
+    check_cmd.add_argument(
+        "--trace-in",
+        metavar="TRACE_JSONL",
+        default=None,
+        help="skip the simulation and re-check this persisted trace "
+        "(produced by 'repro run --big --trace-out' or --trace-out here)",
+    )
+    check_cmd.add_argument(
+        "--trace-out",
+        metavar="TRACE_JSONL",
+        default=None,
+        help="persist the run's consistency events to this JSONL file "
+        "after checking",
+    )
+    check_cmd.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="visibility window for --trace-in re-checks (default: "
+        "unbounded, exactly equivalent to the in-memory checker)",
+    )
 
     chaos_cmd = commands.add_parser(
         "chaos", help="seeded random faults + consistency check"
@@ -267,13 +316,52 @@ def format_result(result: ExperimentResult) -> str:
 # Command implementations
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: one experiment, text or JSON summary."""
-    result = run_experiment(config_from_args(args), protocol=args.protocol)
+    """``repro run``: one experiment, text or JSON summary.
+
+    With ``--big`` the run records its consistency events through the
+    streaming oracle: a windowed :class:`StreamingChecker` consumes them
+    inline with O(window) memory, and ``--trace-out`` optionally spills
+    them to a JSONL file for later re-checking.  Violations exit 1.
+    """
+    if not args.big:
+        result = run_experiment(config_from_args(args), protocol=args.protocol)
+        if args.json:
+            print(result.to_json())
+        else:
+            print(format_result(result))
+        return 0
+
+    from .consistency.streaming import StreamingChecker, StreamingOracle
+    from .protocols import get_protocol
+    from .sim.trace import TraceWriter
+
+    level = get_protocol(args.protocol).consistency
+    checker = StreamingChecker(window=args.window, level=level)
+    sink = TraceWriter(args.trace_out) if args.trace_out else None
+    try:
+        oracle = StreamingOracle(sink=sink, checker=checker)
+        result = run_experiment(
+            config_from_args(args), protocol=args.protocol, oracle=oracle
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    violations = checker.violations
     if args.json:
         print(result.to_json())
     else:
         print(format_result(result))
-    return 0
+    print(
+        f"streaming check ({args.window:g}s window, level '{level}'): "
+        f"{checker.commits_checked} commits / {checker.reads_checked} reads, "
+        f"{checker.versions_retired} versions retired, "
+        f"{checker.state_size} in window, {len(violations)} violations"
+    )
+    if sink is not None:
+        print(f"trace: {sink.count} events -> {sink.path}")
+    for violation in violations[:20]:
+        print(f"  {violation}")
+    return 1 if violations else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -314,10 +402,31 @@ def cmd_check(args: argparse.Namespace) -> int:
     ``occult``, session guarantees for ``eventual`` and ``cops`` (which
     renounce causal snapshots by design; see docs/protocol.md and
     docs/design_space.md).
+
+    ``--trace-in TRACE`` skips the simulation entirely and re-checks a
+    persisted JSONL trace through the streaming checker (``--window``
+    bounds its memory; unbounded re-checks are exactly equivalent to the
+    in-memory checker).  ``--trace-out TRACE`` persists the just-checked
+    history for later re-checking.
     """
     from .protocols import get_protocol
 
     level = get_protocol(args.protocol).consistency
+    if args.trace_in is not None:
+        from .consistency.streaming import check_trace
+
+        checker = check_trace(args.trace_in, window=args.window, level=level)
+        violations = checker.violations
+        window_text = "unbounded" if args.window is None else f"{args.window:g}s"
+        print(
+            f"re-checked {args.trace_in}: {checker.commits_checked} commits / "
+            f"{checker.reads_checked} reads ({window_text} window, level "
+            f"'{level}'): {len(violations)} violations"
+        )
+        for violation in violations[:20]:
+            print(f"  {violation}")
+        return 1 if violations else 0
+
     oracle = ConsistencyOracle()
     result = run_experiment(config_from_args(args), protocol=args.protocol, oracle=oracle)
     violations = ConsistencyChecker(oracle).check_level(level)
@@ -328,6 +437,11 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     for violation in violations[:20]:
         print(f"  {violation}")
+    if args.trace_out is not None:
+        from .consistency.streaming import dump_trace
+
+        count = dump_trace(oracle, args.trace_out)
+        print(f"trace: {count} events -> {args.trace_out}")
     return 1 if violations else 0
 
 

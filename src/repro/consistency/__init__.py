@@ -1,14 +1,38 @@
-"""Consistency verification: oracle recording + invariant checking."""
+"""Consistency verification: oracle recording + invariant checking.
+
+Two checking modes share one invariant suite: the in-memory
+:class:`ConsistencyChecker` over a :class:`ConsistencyOracle` (small runs),
+and the O(window) :class:`StreamingChecker` over spilled event streams
+(big runs; see docs/scaling.md).
+"""
 
 from .checker import ConsistencyChecker, Violation
+from .events import CommitEvent, ReadEvent, decode_event, encode_commit, encode_read
 from .oracle import CommitRecord, ConsistencyOracle, ReadRecord, VersionId, version_id
+from .streaming import (
+    StreamingChecker,
+    StreamingOracle,
+    check_trace,
+    dump_trace,
+    oracle_events,
+)
 
 __all__ = [
+    "CommitEvent",
     "CommitRecord",
     "ConsistencyChecker",
     "ConsistencyOracle",
+    "ReadEvent",
     "ReadRecord",
+    "StreamingChecker",
+    "StreamingOracle",
     "VersionId",
     "Violation",
+    "check_trace",
+    "decode_event",
+    "dump_trace",
+    "encode_commit",
+    "encode_read",
+    "oracle_events",
     "version_id",
 ]

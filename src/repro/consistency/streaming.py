@@ -1,0 +1,502 @@
+"""Windowed streaming consistency checking (the ``--big`` run tier).
+
+The in-memory :class:`~repro.consistency.checker.ConsistencyChecker` holds
+the whole history — every read, commit, and dependency edge — so run size
+is bounded by RAM.  This module re-states the same five invariants over a
+one-pass *event stream* (:mod:`repro.consistency.events`) with O(window)
+state:
+
+* :class:`StreamingOracle` replaces the in-memory oracle for big runs: it
+  keeps only per-session frontiers, computes each commit's direct
+  dependencies exactly like the in-memory oracle, and spills the resulting
+  events to a :class:`repro.sim.trace.TraceWriter` (and/or feeds an
+  attached :class:`StreamingChecker` inline) instead of retaining them.
+* :class:`StreamingChecker` consumes events in recording (sequence) order.
+  With ``window=None`` it runs the *identical* closure/frontier algorithms
+  over the identical data as the in-memory checker, so its verdicts and
+  violation multisets are equal on any trace that fits in RAM (proved
+  run-for-run in ``tests/test_checker_streaming.py``).  With a finite
+  window (seconds of commit time) it retires dependency and transaction
+  state older than ``watermark - window`` and keeps, per key, a *retired
+  tip digest* — the newest retired version's exact dependency frontier and
+  transaction siblings — so the classic violation shapes (stale reads,
+  causal fractures, lost read-modify-writes) are still caught even when
+  the violating version has crossed the retirement boundary.
+
+Memory profile with a finite window: dependency/closure/transaction maps
+are O(versions committed inside the window); per-client monotonic-read and
+own-write frontiers are O(clients x keys) — both independent of run
+length (regression-tested with ``tracemalloc`` in
+``tests/test_checker_memory.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from ..clocks.hlc import micros_to_timestamp
+from ..sim.trace import TraceWriter, read_jsonl
+from ..storage.version import TransactionId, Version
+from .checker import Violation
+from .events import (
+    CommitEvent,
+    ReadEvent,
+    TraceEvent,
+    decode_event,
+    encode_commit,
+    encode_read,
+)
+from .oracle import ConsistencyOracle, VersionId, _vid_order, is_preload, version_id
+
+#: How many commits between retirement sweeps (amortises the heap pops).
+RETIRE_EVERY = 256
+
+
+@dataclass(frozen=True, slots=True)
+class RetiredTip:
+    """Per-key digest of the newest version retired from the window.
+
+    ``frontier`` is the version's dependency frontier as known at
+    retirement time (exact if its closure was ever demanded, direct-deps
+    otherwise — transitive contributions below it were retired first), and
+    ``siblings`` the full write set of its transaction.  Reads returning
+    exactly this version are still checked for causal snapshots and atomic
+    visibility; reads returning versions retired even earlier are skipped,
+    the same sound-but-incomplete stance the in-memory checker documents.
+    """
+
+    vid: VersionId
+    frontier: Tuple[Tuple[str, VersionId], ...]
+    siblings: Tuple[VersionId, ...]
+
+
+class StreamingChecker:
+    """One-pass invariant checker over a consistency event stream.
+
+    ``window`` is in seconds of commit (HLC physical) time; ``None`` keeps
+    all state and is exactly equivalent to the in-memory checker.
+    ``level`` mirrors :meth:`ConsistencyChecker.check_level`: ``"tcc"``
+    runs all five invariants, ``"session"`` only read-your-writes,
+    monotonic reads, and dependency timestamps.
+    """
+
+    def __init__(self, window: Optional[float] = None, level: str = "tcc") -> None:
+        if window is not None and window <= 0.0:
+            raise ValueError("window must be positive (or None for unbounded)")
+        if level not in ("tcc", "session"):
+            raise ValueError(f"unknown consistency level {level!r}")
+        self.window = window
+        self.level = level
+        self.violations: List[Violation] = []
+        self.reads_checked = 0
+        self.commits_checked = 0
+        self.versions_retired = 0
+        self._window_ts = (
+            None if window is None else micros_to_timestamp(int(window * 1_000_000))
+        )
+        self._watermark = 0
+        #: Direct dependencies of each in-window version (event payloads).
+        self._deps: Dict[VersionId, Tuple[VersionId, ...]] = {}
+        #: Memoized per-key dependency frontier of each version's closure.
+        self._closures: Dict[VersionId, Dict[str, VersionId]] = {}
+        self._tx_writes: Dict[TransactionId, Tuple[VersionId, ...]] = {}
+        #: Retirement queues: versions by ut, transactions by max write ut.
+        self._version_queue: List[Tuple[int, VersionId]] = []
+        self._tx_queue: List[Tuple[int, TransactionId]] = []
+        self._tips: Dict[str, RetiredTip] = {}
+        #: Per-client frontiers (never retired: one vid per client x key).
+        self._seen: Dict[str, Dict[str, VersionId]] = {}
+        self._own: Dict[str, Dict[str, VersionId]] = {}
+        self._commits_since_retire = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        """Consume one event, accumulating any violations it exposes."""
+        if isinstance(event, CommitEvent):
+            self._on_commit(event)
+        elif isinstance(event, ReadEvent):
+            self._on_read(event)
+        else:
+            raise TypeError(f"not a trace event: {event!r}")
+
+    def run(self, events: Iterable[TraceEvent]) -> List[Violation]:
+        """Feed a whole stream; returns (and retains) all violations."""
+        for event in events:
+            self.feed(event)
+        return self.violations
+
+    @property
+    def state_size(self) -> int:
+        """In-window tracked versions (the O(window) part of the state)."""
+        return len(self._deps)
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+    def _on_commit(self, event: CommitEvent) -> None:
+        self.commits_checked += 1
+        deps = event.deps
+        own = self._own.setdefault(event.client, {})
+        for vid in event.written:
+            for dep in deps:
+                if dep[1] >= vid[1]:
+                    self.violations.append(
+                        Violation(
+                            kind="dependency-timestamps",
+                            client="(commit order)",
+                            detail=(
+                                f"version {vid} has ut {vid[1]} <= its dependency "
+                                f"{dep} with ut {dep[1]}"
+                            ),
+                        )
+                    )
+            self._deps[vid] = deps
+            heappush(self._version_queue, (vid[1], vid))
+            key = vid[0]
+            current = own.get(key)
+            if current is None or _vid_order(vid) > _vid_order(current):
+                own[key] = vid
+        if event.written:
+            self._tx_writes[event.tid] = event.written
+            heappush(
+                self._tx_queue,
+                (max(vid[1] for vid in event.written), event.tid),
+            )
+        if event.commit_ts > self._watermark:
+            self._watermark = event.commit_ts
+        if self._window_ts is not None:
+            self._commits_since_retire += 1
+            if self._commits_since_retire >= RETIRE_EVERY:
+                self._commits_since_retire = 0
+                self._retire()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _on_read(self, event: ReadEvent) -> None:
+        self.reads_checked += 1
+        client = event.client
+        check_tcc = self.level == "tcc"
+        own = self._own.get(client)
+        seen = self._seen.setdefault(client, {})
+        for key, (vid, source) in event.returned.items():
+            if vid is not None and check_tcc:
+                self._check_causal(event, key, vid)
+                self._check_atomic(event, key, vid)
+            # Read-your-writes (WS reads are served from the write set).
+            if vid is not None and source != "ws" and own is not None:
+                expected = own.get(key)
+                if expected is not None and _vid_order(vid) < _vid_order(expected):
+                    self.violations.append(
+                        Violation(
+                            kind="read-your-writes",
+                            client=client,
+                            detail=(
+                                f"read of {key!r} returned {vid}, older than the "
+                                f"client's own committed {expected}"
+                            ),
+                        )
+                    )
+            # Monotonic reads.
+            if vid is not None:
+                previous = seen.get(key)
+                if previous is not None and _vid_order(vid) < _vid_order(previous):
+                    self.violations.append(
+                        Violation(
+                            kind="monotonic-reads",
+                            client=client,
+                            detail=(
+                                f"read of {key!r} returned {vid} after having "
+                                f"observed {previous}"
+                            ),
+                        )
+                    )
+                if previous is None or _vid_order(vid) > _vid_order(previous):
+                    seen[key] = vid
+
+    def _check_causal(self, event: ReadEvent, key: str, vid: VersionId) -> None:
+        """Causal snapshot: no version observed while missing a dependency."""
+        if vid in self._deps:
+            frontier: Iterable[Tuple[str, VersionId]] = self._closure(vid).items()
+        else:
+            tip = self._tips.get(key)
+            if tip is None or tip.vid != vid:
+                return  # preload, or retired beyond the per-key tip digest
+            frontier = tip.frontier
+        for dep_key, dep_vid in frontier:
+            if dep_key == key:
+                continue
+            returned = event.returned.get(dep_key)
+            if returned is None or returned[0] is None:
+                continue
+            if _vid_order(returned[0]) < _vid_order(dep_vid):
+                self.violations.append(
+                    Violation(
+                        kind="causal-snapshot",
+                        client=event.client,
+                        detail=(
+                            f"tx {event.tid} read {vid} of {key!r} but an older "
+                            f"{returned[0]} of {dep_key!r} (requires >= {dep_vid})"
+                        ),
+                    )
+                )
+
+    def _check_atomic(self, event: ReadEvent, key: str, vid: VersionId) -> None:
+        """Atomic visibility: no fractured reads of one write set."""
+        tid = vid[2]
+        siblings = self._tx_writes.get(tid)
+        if siblings is None:
+            tip = self._tips.get(key)
+            if tip is None or tip.vid != vid:
+                return
+            siblings = tip.siblings
+        if not siblings:
+            return
+        for sibling in siblings:
+            sibling_key = sibling[0]
+            if sibling_key == key:
+                continue
+            returned = event.returned.get(sibling_key)
+            if returned is None or returned[0] is None:
+                continue
+            if _vid_order(returned[0]) < _vid_order(sibling):
+                self.violations.append(
+                    Violation(
+                        kind="atomic-visibility",
+                        client=event.client,
+                        detail=(
+                            f"tx {event.tid} saw {vid} of {key!r} from tx {tid} but "
+                            f"older {returned[0]} of {sibling_key!r} (fractured read)"
+                        ),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Closures and retirement
+    # ------------------------------------------------------------------
+    def _closure(self, vid: VersionId) -> Dict[str, VersionId]:
+        """Transitive per-key dependency frontier of ``vid`` (memoized).
+
+        The same iterative post-order walk as the in-memory checker's,
+        over the windowed dependency map: retired dependencies simply act
+        as leaves (their own frontier contributions were retired first).
+        """
+        cached = self._closures.get(vid)
+        if cached is not None:
+            return cached
+        stack: List[Tuple[VersionId, bool]] = [(vid, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in self._closures:
+                continue
+            deps = self._deps.get(current, ())
+            if not expanded:
+                stack.append((current, True))
+                for dep in deps:
+                    if dep in self._deps and dep not in self._closures:
+                        stack.append((dep, False))
+                continue
+            frontier: Dict[str, VersionId] = {}
+            for dep in deps:
+                self._merge(frontier, dep[0], dep)
+                inner = self._closures.get(dep)
+                if inner:
+                    for key, inner_vid in inner.items():
+                        self._merge(frontier, key, inner_vid)
+            self._closures[current] = frontier
+        return self._closures[vid]
+
+    @staticmethod
+    def _merge(frontier: Dict[str, VersionId], key: str, vid: VersionId) -> None:
+        current = frontier.get(key)
+        if current is None or _vid_order(vid) > _vid_order(current):
+            frontier[key] = vid
+
+    def _retire(self) -> None:
+        """Drop dependency/transaction state older than the window.
+
+        Versions leave in commit-timestamp order; the newest retiree of
+        each key becomes that key's :class:`RetiredTip`.
+        """
+        cutoff = self._watermark - self._window_ts
+        queue = self._version_queue
+        while queue and queue[0][0] < cutoff:
+            _, vid = heappop(queue)
+            key = vid[0]
+            tip = self._tips.get(key)
+            if tip is None or _vid_order(vid) > _vid_order(tip.vid):
+                self._tips[key] = RetiredTip(
+                    vid=vid,
+                    frontier=tuple(self._closure(vid).items()),
+                    siblings=self._tx_writes.get(vid[2], ()),
+                )
+            self._deps.pop(vid, None)
+            self._closures.pop(vid, None)
+            self.versions_retired += 1
+        tx_queue = self._tx_queue
+        while tx_queue and tx_queue[0][0] < cutoff:
+            _, tid = heappop(tx_queue)
+            self._tx_writes.pop(tid, None)
+
+
+class StreamingOracle:
+    """Drop-in oracle for big runs: spills events instead of retaining them.
+
+    Implements the same ``record_read`` / ``record_commit`` interface (and
+    dependency semantics) as :class:`ConsistencyOracle`, but holds only
+    per-session frontiers.  Each recorded event goes to ``sink`` (a
+    :class:`~repro.sim.trace.TraceWriter`) as one JSON line, to ``checker``
+    (a :class:`StreamingChecker`) directly, or both.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[TraceWriter] = None,
+        checker: Optional[StreamingChecker] = None,
+    ) -> None:
+        if sink is None and checker is None:
+            raise ValueError("a StreamingOracle needs a sink, a checker, or both")
+        self.sink = sink
+        self.checker = checker
+        self.reads_recorded = 0
+        self.commits_recorded = 0
+        self._seq = itertools.count()
+        self._frontiers: Dict[str, Dict[str, VersionId]] = {}
+
+    def record_read(
+        self,
+        client: str,
+        tid: TransactionId,
+        snapshot: int,
+        results: Mapping[str, object],
+        at: float,
+    ) -> None:
+        """Record one read phase; updates the client's observed frontier."""
+        frontier = self._frontiers.setdefault(client, {})
+        returned: Dict[str, Tuple[Optional[VersionId], str]] = {}
+        for key, result in results.items():
+            version = result.version
+            if version is None:
+                returned[key] = (None, result.source)
+                continue
+            vid = version_id(version)
+            returned[key] = (vid, result.source)
+            if not is_preload(version):
+                self._observe(frontier, key, vid)
+        event = ReadEvent(
+            seq=next(self._seq),
+            client=client,
+            tid=tid,
+            snapshot=snapshot,
+            returned=returned,
+            at=at,
+        )
+        self.reads_recorded += 1
+        if self.sink is not None:
+            self.sink.write(encode_read(event))
+        if self.checker is not None:
+            self.checker.feed(event)
+
+    def record_commit(
+        self,
+        client: str,
+        tid: TransactionId,
+        commit_ts: int,
+        written: Mapping[str, Version],
+        read_versions: List[Version],
+        at: float,
+    ) -> None:
+        """Record a commit; the written versions depend on the session frontier."""
+        frontier = self._frontiers.setdefault(client, {})
+        for version in read_versions:
+            if not is_preload(version):
+                self._observe(frontier, version.key, version_id(version))
+        deps = tuple(sorted(frontier.values()))
+        written_ids = tuple(version_id(version) for version in written.values())
+        for vid in written_ids:
+            self._observe(frontier, vid[0], vid)
+        event = CommitEvent(
+            seq=next(self._seq),
+            client=client,
+            tid=tid,
+            commit_ts=commit_ts,
+            written=written_ids,
+            deps=deps,
+            at=at,
+        )
+        self.commits_recorded += 1
+        if self.sink is not None:
+            self.sink.write(encode_commit(event))
+        if self.checker is not None:
+            self.checker.feed(event)
+
+    @staticmethod
+    def _observe(frontier: Dict[str, VersionId], key: str, vid: VersionId) -> None:
+        current = frontier.get(key)
+        if current is None or _vid_order(vid) > _vid_order(current):
+            frontier[key] = vid
+
+
+def oracle_events(oracle: ConsistencyOracle) -> Iterator[TraceEvent]:
+    """The event stream of an in-memory oracle, in recording order.
+
+    Lets any oracle-backed run be persisted (``repro check --trace-out``)
+    or replayed through the streaming checker; equivalence tests use it to
+    feed both checkers the same history.
+    """
+    merged: List[Union[ReadEvent, CommitEvent]] = [
+        ReadEvent(
+            seq=record.seq,
+            client=record.client,
+            tid=record.tid,
+            snapshot=record.snapshot,
+            returned=record.returned,
+            at=record.at,
+        )
+        for record in oracle.reads
+    ]
+    for record in oracle.commits:
+        merged.append(
+            CommitEvent(
+                seq=record.seq,
+                client=record.client,
+                tid=record.tid,
+                commit_ts=record.commit_ts,
+                written=record.written,
+                deps=tuple(sorted(oracle.dependencies.get(record.written[0], ())))
+                if record.written
+                else (),
+                at=record.at,
+            )
+        )
+    merged.sort(key=lambda event: event.seq)
+    return iter(merged)
+
+
+def dump_trace(oracle: ConsistencyOracle, path) -> int:
+    """Persist an in-memory oracle's history as a JSONL trace file.
+
+    Returns the number of events written.  The file is deterministic for a
+    deterministic run and re-checkable with ``repro check --trace-in``.
+    """
+    with TraceWriter(path) as sink:
+        for event in oracle_events(oracle):
+            if isinstance(event, ReadEvent):
+                sink.write(encode_read(event))
+            else:
+                sink.write(encode_commit(event))
+        return sink.count
+
+
+def check_trace(
+    path, window: Optional[float] = None, level: str = "tcc"
+) -> StreamingChecker:
+    """Re-check a persisted JSONL trace; returns the finished checker."""
+    checker = StreamingChecker(window=window, level=level)
+    checker.run(decode_event(obj) for obj in read_jsonl(path))
+    return checker

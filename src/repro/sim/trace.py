@@ -23,13 +23,22 @@ replicate   a replicate batch was shipped
 ust         a server's UST advanced
 block       a BPR read parked / woke
 ========== ==========================================================
+
+For runs whose event volume exceeds RAM, :class:`TraceWriter` spills
+JSON-line events to an append-only file instead of an in-memory list, and
+:func:`read_jsonl` streams them back one at a time.  The big-run tier
+(``repro run --big``, docs/scaling.md) records consistency events through
+this sink and re-checks them with ``repro check --trace-in``.
 """
 
 from __future__ import annotations
 
+import io
+import json
+import pathlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,3 +119,69 @@ class Tracer:
 
 #: Shared default tracer used by servers when none is injected explicitly.
 GLOBAL_TRACER = Tracer()
+
+
+class TraceWriter:
+    """Append-only JSONL event sink with bounded in-process buffering.
+
+    One JSON object per line, written with sorted keys and compact
+    separators so the file is deterministic for a deterministic event
+    stream.  Events are buffered and flushed every ``flush_every`` lines;
+    memory stays O(flush_every) regardless of run length.  Usable as a
+    context manager::
+
+        with TraceWriter(path) as sink:
+            sink.write({"t": "commit", ...})
+    """
+
+    __slots__ = ("path", "flush_every", "count", "_file", "_buffer")
+
+    def __init__(
+        self, path: Union[str, pathlib.Path], flush_every: int = 1024
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = pathlib.Path(path)
+        self.flush_every = flush_every
+        self.count = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[io.TextIOWrapper] = self.path.open("w")
+        self._buffer: List[str] = []
+
+    def write(self, event: Mapping[str, Any]) -> None:
+        """Append one event as a JSON line."""
+        if self._file is None:
+            raise ValueError(f"trace writer already closed: {self.path}")
+        self._buffer.append(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        self.count += 1
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the line buffer through to the file on disk."""
+        if self._buffer and self._file is not None:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._file.flush()
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is not None:
+            self.flush()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> Iterator[Dict[str, Any]]:
+    """Stream the events of a JSONL trace file one dict at a time."""
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -13,6 +13,12 @@ distribution; write values carry a constant, uniform, or bimodal payload
 size; and read-modify-write profiles (YCSB-F) write back to the keys they
 just read, so the written versions causally depend on the read versions all
 the way through the consistency oracle.
+
+Key ranks are drawn through the distributions' array-batched
+``sample_batch`` path (one call per read phase / write phase instead of one
+Python call per operation) whenever a batch is byte-identical to the scalar
+sequence; ``vectorized=False`` forces the scalar path, and the seed-stability
+suite in ``tests/test_workload.py`` asserts both emit identical key streams.
 """
 
 from __future__ import annotations
@@ -85,11 +91,13 @@ class WorkloadGenerator:
         dc_id: int,
         rng: random.Random,
         clock: Optional[Callable[[], float]] = None,
+        vectorized: bool = True,
     ) -> None:
         self.spec = spec
         self.workload = workload
         self.dc_id = dc_id
         self.profile = get_profile(workload.profile)
+        self.vectorized = vectorized
         self._rng = rng
         self._clock = clock if clock is not None else lambda: 0.0
         self._local_partitions = spec.dc_partitions(dc_id)
@@ -105,9 +113,14 @@ class WorkloadGenerator:
         pool = self._local_partitions if is_local else self._all_partitions
         count = min(self.workload.partitions_per_tx, len(pool))
         partitions = self._rng.sample(pool, count)
-        reads = tuple(
-            self._pick_key(partitions[i % count]) for i in range(self.workload.reads_per_tx)
-        )
+        n_reads = self.workload.reads_per_tx
+        if self.vectorized and n_reads > 0:
+            ranks = self._key_gen.sample_batch(self._rng, n_reads)
+            reads = tuple(
+                f"p{partitions[i % count]}:k{ranks[i]:06d}" for i in range(n_reads)
+            )
+        else:
+            reads = tuple(self._pick_key(partitions[i % count]) for i in range(n_reads))
         writes = self._pick_writes(partitions, count, reads)
         self._sequence += 1
         return TransactionSpec(

@@ -10,12 +10,20 @@ On top of it sit the profile-driven variants (see
 "latest" distribution over a fixed keyspace, and
 :class:`ShiftingHotspotGenerator`, whose hot set rotates deterministically
 with simulated time.
+
+Every generator offers two sampling entry points over the *same* random
+stream: scalar :meth:`sample` and array-batched :meth:`sample_batch`.  The
+batched path hoists attribute lookups and method dispatch out of the inner
+loop (the per-operation cost the big-run tier cannot afford; see
+docs/scaling.md) but consumes exactly one underlying draw per rank in the
+same order, so for a given seed the two paths emit byte-identical rank
+sequences — property-tested in ``tests/test_workload.py``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, List
 
 
 class ZipfianGenerator:
@@ -49,6 +57,30 @@ class ZipfianGenerator:
             return 1
         return int(self.n_items * (self._eta * u - self._eta + 1.0) ** self._alpha)
 
+    def sample_batch(self, rng: random.Random, n: int) -> List[int]:
+        """``n`` rank draws, byte-identical to ``n`` :meth:`sample` calls.
+
+        One uniform draw per rank in the same order; constants are hoisted
+        into locals so the transform loop carries no attribute lookups.
+        """
+        random_ = rng.random
+        zetan = self._zetan
+        second = 1.0 + 0.5 ** self.theta
+        eta = self._eta
+        alpha = self._alpha
+        n_items = self.n_items
+        ranks: List[int] = []
+        append = ranks.append
+        for u in [random_() for _ in range(n)]:
+            uz = u * zetan
+            if uz < 1.0:
+                append(0)
+            elif uz < second:
+                append(1)
+            else:
+                append(int(n_items * (eta * u - eta + 1.0) ** alpha))
+        return ranks
+
 
 class LatestBiasedGenerator:
     """YCSB-D's "latest" distribution over a fixed keyspace.
@@ -80,6 +112,12 @@ class LatestBiasedGenerator:
     def sample(self, rng: random.Random) -> int:
         """One rank draw, biased towards the most recent inserts."""
         return (self._latest - self._zipf.sample(rng)) % self.n_items
+
+    def sample_batch(self, rng: random.Random, n: int) -> List[int]:
+        """``n`` draws against the current latest pointer (no inserts between)."""
+        latest = self._latest
+        n_items = self.n_items
+        return [(latest - z) % n_items for z in self._zipf.sample_batch(rng, n)]
 
 
 class ShiftingHotspotGenerator:
@@ -119,6 +157,16 @@ class ShiftingHotspotGenerator:
         """One rank draw from the currently-hot region."""
         return (self._zipf.sample(rng) + self.current_shift()) % self.n_items
 
+    def sample_batch(self, rng: random.Random, n: int) -> List[int]:
+        """``n`` draws at the current epoch (the clock is read once).
+
+        Batches are generated synchronously at one simulated instant, so a
+        single shift covers the whole batch — identical to per-draw shifts.
+        """
+        shift = self.current_shift()
+        n_items = self.n_items
+        return [(z + shift) % n_items for z in self._zipf.sample_batch(rng, n)]
+
 
 class UniformGenerator:
     """Uniform ranks in ``[0, n_items)`` (used by ablations)."""
@@ -131,3 +179,9 @@ class UniformGenerator:
     def sample(self, rng: random.Random) -> int:
         """One uniform rank draw."""
         return rng.randrange(self.n_items)
+
+    def sample_batch(self, rng: random.Random, n: int) -> List[int]:
+        """``n`` uniform draws, byte-identical to ``n`` :meth:`sample` calls."""
+        randrange = rng.randrange
+        n_items = self.n_items
+        return [randrange(n_items) for _ in range(n)]

@@ -261,3 +261,60 @@ class TestSweepCommand:
         bad.write_text('{"name": "x", "axes": {"volume": [11]}}')
         with pytest.raises(SweepSpecError, match="unknown axis"):
             cli.main(["sweep", str(bad)])
+
+
+class TestBigRunTier:
+    """The streaming big-run tier: run --big, check --trace-in/--trace-out."""
+
+    def test_run_big_streams_and_spills(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "run", *FAST, "--big", "--window", "0.3",
+            "--trace-out", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streaming check" in out
+        assert "0 violations" in out
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_run_big_without_trace_out(self, capsys):
+        assert cli.main(["run", *FAST, "--big"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming check" in out
+        assert "trace:" not in out
+
+    def test_check_trace_out_then_trace_in(self, capsys, tmp_path):
+        """Persist via check --trace-out, re-check via check --trace-in."""
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main(["check", *FAST, "--trace-out", str(trace)]) == 0
+        first = capsys.readouterr().out
+        assert "0 violations" in first
+        assert str(trace) in first
+        assert cli.main(["check", "--trace-in", str(trace)]) == 0
+        second = capsys.readouterr().out
+        assert "re-checked" in second
+        assert "0 violations" in second
+
+    def test_check_trace_in_windowed(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main(["check", *FAST, "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert cli.main([
+            "check", "--trace-in", str(trace), "--window", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0.2s window" in out
+
+    def test_check_trace_in_catches_violations(self, capsys, tmp_path):
+        """A session-level protocol's trace re-checked at tcc exits 1."""
+        trace = tmp_path / "trace.jsonl"
+        cli.main(["check", *FAST, "--protocol", "eventual",
+                  "--trace-out", str(trace)])
+        capsys.readouterr()
+        # Re-check the eventual trace as if it claimed full tcc: the
+        # streaming checker must surface the causal violations.
+        status = cli.main(["check", "--trace-in", str(trace),
+                           "--protocol", "paris"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "violations" in out and "0 violations" not in out

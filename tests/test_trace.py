@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.trace import GLOBAL_TRACER, TraceRecord, Tracer
 from tests.conftest import drive, run_for
 
@@ -106,3 +108,72 @@ class TestServerTracing:
 
         drive(tiny_cluster, tx())
         assert GLOBAL_TRACER.records == []
+
+
+class TestTraceWriter:
+    def test_round_trip(self, tmp_path):
+        from repro.sim.trace import TraceWriter, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        events = [{"t": "commit", "seq": i, "ct": i * 10} for i in range(10)]
+        with TraceWriter(path) as sink:
+            for event in events:
+                sink.write(event)
+            assert sink.count == 10
+        assert list(read_jsonl(path)) == events
+
+    def test_buffering_and_flush(self, tmp_path):
+        from repro.sim.trace import TraceWriter, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        sink = TraceWriter(path, flush_every=4)
+        for i in range(3):
+            sink.write({"seq": i})
+        # Below the flush threshold: nothing on disk yet.
+        assert path.read_text() == ""
+        sink.write({"seq": 3})
+        assert len(path.read_text().splitlines()) == 4
+        sink.close()
+        assert len(list(read_jsonl(path))) == 4
+
+    def test_deterministic_encoding(self, tmp_path):
+        """Sorted keys + compact separators: same event, same bytes."""
+        from repro.sim.trace import TraceWriter
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with TraceWriter(a) as sink:
+            sink.write({"z": 1, "a": 2})
+        with TraceWriter(b) as sink:
+            sink.write({"a": 2, "z": 1})
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text() == '{"a":2,"z":1}\n'
+
+    def test_write_after_close_raises(self, tmp_path):
+        from repro.sim.trace import TraceWriter
+
+        sink = TraceWriter(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="already closed"):
+            sink.write({"seq": 0})
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.sim.trace import TraceWriter, read_jsonl
+
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        with TraceWriter(path) as sink:
+            sink.write({"seq": 0})
+        assert list(read_jsonl(path)) == [{"seq": 0}]
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        from repro.sim.trace import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq":0}\n\n{"seq":1}\n   \n')
+        assert list(read_jsonl(path)) == [{"seq": 0}, {"seq": 1}]
+
+    def test_validation(self, tmp_path):
+        from repro.sim.trace import TraceWriter
+
+        with pytest.raises(ValueError, match="flush_every"):
+            TraceWriter(tmp_path / "x.jsonl", flush_every=0)

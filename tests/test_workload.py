@@ -298,3 +298,104 @@ class TestKeyNaming:
                 assert key in preloaded
             for key, _ in tx.writes:
                 assert key in preloaded
+
+
+class TestBatchedSampling:
+    """The array-batched draw path is byte-identical to the scalar path.
+
+    ``sample_batch`` powers the vectorized generator of the big-run tier
+    (docs/scaling.md); these tests pin its two contracts: same seed ->
+    byte-identical rank/key sequences, and the same distribution as the
+    scalar path (chi-square against the ideal pmf, mirroring
+    TestDistributionCorrectness).
+    """
+
+    N_ITEMS = 100
+    SAMPLES = 40_000
+
+    def _batched_counts(self, gen, seed: int, batch: int = 64) -> Counter:
+        rng = random.Random(seed)
+        counts: Counter = Counter()
+        drawn = 0
+        while drawn < self.SAMPLES:
+            n = min(batch, self.SAMPLES - drawn)
+            counts.update(gen.sample_batch(rng, n))
+            drawn += n
+        return counts
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ZipfianGenerator(100, 0.99),
+            lambda: LatestBiasedGenerator(100, 0.99),
+            lambda: UniformGenerator(100),
+            lambda: ShiftingHotspotGenerator(100, 0.99, 1.0, 13, lambda: 4.2),
+        ],
+        ids=["zipfian", "latest", "uniform", "hotspot"],
+    )
+    def test_batch_matches_scalar_stream(self, make):
+        """Same seed, same draws: batched == n scalar calls, any batch size."""
+        for batch in (1, 3, 64, 1000):
+            scalar_gen, batch_gen = make(), make()
+            rng_a, rng_b = random.Random(77), random.Random(77)
+            scalar = [scalar_gen.sample(rng_a) for _ in range(batch)]
+            batched = batch_gen.sample_batch(rng_b, batch)
+            assert batched == scalar
+            # Both rngs end in the same state: the streams stay aligned.
+            assert rng_a.getstate() == rng_b.getstate()
+
+    def test_batched_zipfian_chi_square(self):
+        probs = zipf_pmf(self.N_ITEMS, 0.99)
+        for seed in (1, 2, 3):
+            counts = self._batched_counts(ZipfianGenerator(self.N_ITEMS, 0.99), seed)
+            assert chi_square(counts, probs, self.SAMPLES) < 400.0
+
+    def test_batched_uniform_chi_square(self):
+        probs = [1.0 / self.N_ITEMS] * self.N_ITEMS
+        for seed in (1, 2, 3):
+            counts = self._batched_counts(UniformGenerator(self.N_ITEMS), seed)
+            # df = 7 bins - 1; the 99.9% quantile of chi2(7) is 24.32.
+            assert chi_square(counts, probs, self.SAMPLES) < 24.32
+
+
+class TestVectorizedGenerator:
+    """WorkloadGenerator(vectorized=True) emits the scalar key stream."""
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            "default", "read_heavy", "write_heavy", "ycsb_a", "ycsb_b",
+            "ycsb_c", "ycsb_d", "ycsb_f", "hotspot_shift", "uniform_scan",
+            "bursty", "ramp", "bimodal_values",
+        ],
+    )
+    def test_vectorized_stream_byte_identical(self, profile):
+        """Every registered profile: 300 transactions, identical streams."""
+        spec = ClusterSpec.from_machines(3, 2, 2)
+        workload = WorkloadConfig(
+            profile=profile,
+            reads_per_tx=4,
+            writes_per_tx=2,
+            partitions_per_tx=2,
+            keys_per_partition=200,
+        )
+        scalar = WorkloadGenerator(
+            spec, workload, dc_id=0, rng=random.Random(42), vectorized=False
+        )
+        vector = WorkloadGenerator(
+            spec, workload, dc_id=0, rng=random.Random(42), vectorized=True
+        )
+        for _ in range(300):
+            assert scalar.next_transaction() == vector.next_transaction()
+
+    def test_vectorized_seed_stability(self):
+        """Two vectorized generators with one seed agree; seeds differ."""
+        _, gen_a = make_generator(seed=9)
+        _, gen_b = make_generator(seed=9)
+        assert gen_a.vectorized and gen_b.vectorized
+        for _ in range(50):
+            assert gen_a.next_transaction() == gen_b.next_transaction()
+        _, gen_c = make_generator(seed=10)
+        assert [gen_a.next_transaction() for _ in range(10)] != [
+            gen_c.next_transaction() for _ in range(10)
+        ]
