@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type
 
 from ..clocks.hlc import timestamp_to_seconds
+from ..cluster.membership import Membership
 from ..cluster.topology import ClusterSpec
 from ..config import SimulationConfig
 from ..consistency.oracle import ConsistencyOracle
@@ -46,12 +47,19 @@ class Cluster:
     rngs: RngRegistry
     protocol: str
     servers: Dict[Tuple[int, int], ProtocolServer]
+    #: Live placement shared by every server and client; membership events
+    #: from the fault plane mutate it mid-run.
+    membership: Optional[Membership] = None
     oracle: Optional[ConsistencyOracle] = None
     #: Set when the configuration carries a fault plan (see repro.faults).
     injector: Optional[FaultInjector] = None
     clients: List[PaRiSClient] = field(default_factory=list)
     drivers: List[SessionDriver] = field(default_factory=list)
     _client_counters: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.membership is None:
+            self.membership = Membership(self.spec)
 
     def server(self, dc_id: int, partition: int) -> ProtocolServer:
         """The replica of ``partition`` hosted in ``dc_id``."""
@@ -62,8 +70,18 @@ class Cluster:
         return list(self.servers.values())
 
     def min_ust(self) -> int:
-        """The smallest UST across servers (lower bound of stable snapshot)."""
-        return min(server.ust for server in self.servers.values())
+        """The smallest UST across *member* servers (stable snapshot bound).
+
+        Servers retired by a membership change stay in the registry (they
+        are reused on rejoin) but their frozen UST no longer bounds the
+        deployment's stable snapshot.
+        """
+        membership = self.membership
+        return min(
+            server.ust
+            for (dc_id, partition), server in self.servers.items()
+            if membership.is_replicated_at(partition, dc_id)
+        )
 
     def ust_staleness(self) -> float:
         """Seconds between now and the oldest server's UST (data staleness)."""
@@ -110,6 +128,7 @@ class Cluster:
             coordinator_partition=coordinator_partition,
             client_index=client_index,
             oracle=self.oracle,
+            membership=self.membership,
         )
         self.clients.append(client)
         return client
@@ -131,13 +150,17 @@ def build_cluster(
     server_cls = get_protocol(protocol).server_cls
     sim = Simulator()
     rngs = RngRegistry(config.seed)
-    latency = LatencyModel.for_paper_deployment(
-        config.cluster.n_dcs, jitter_fraction=config.latency_jitter
-    )
+    if config.regions is not None:
+        latency = LatencyModel(config.regions, jitter_fraction=config.latency_jitter)
+    else:
+        latency = LatencyModel.for_paper_deployment(
+            config.cluster.n_dcs, jitter_fraction=config.latency_jitter
+        )
     network = Network(sim, latency, rngs)
 
     servers: Dict[Tuple[int, int], ProtocolServer] = {}
     spec = config.cluster
+    membership = Membership(spec)
     empty_dcs = [dc for dc in range(spec.n_dcs) if not spec.dc_partitions(dc)]
     if empty_dcs:
         raise ValueError(
@@ -153,6 +176,7 @@ def build_cluster(
                 dc_id=dc_id,
                 partition=partition,
                 rngs=rngs,
+                membership=membership,
             )
 
     if preload:
@@ -174,6 +198,7 @@ def build_cluster(
         rngs=rngs,
         protocol=protocol,
         servers=servers,
+        membership=membership,
         oracle=oracle,
     )
     if config.faults is not None:

@@ -63,7 +63,10 @@ from .harness import run_experiment
 #: monolith was decomposed into the repro.protocols engine).
 #: v4: results gained metadata-bytes and read-retry totals, and versions
 #: carry dependency summaries (cure/occult/cops joined the registry).
-CACHE_VERSION = 4
+#: v5: the ``preset`` geo-topology parameter joined the namespace (named
+#: cloud-region RTT matrices replacing the synthetic latency model), and the
+#: membership plane changed server wiring (dict version vectors, reconfig).
+CACHE_VERSION = 5
 
 #: Run parameters and their defaults (mirroring ``repro run``'s flags).
 #: ``partitions_per_tx=None`` means "min(4, machines)", the CLI's behaviour.
@@ -85,6 +88,7 @@ PARAM_DEFAULTS: Dict[str, Any] = {
     "duration": 1.5,
     "visibility_sample_rate": 0.0,
     "faults": None,
+    "preset": None,
 }
 
 #: Parameters a spec may set in ``base``.
@@ -176,6 +180,19 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
     profile_name = merged["workload"]
     if profile_name is not None:
         workload = _resolve_profile(profile_name).apply(workload)
+    regions = None
+    if merged["preset"] is not None:
+        from ..sim.latency import preset_regions
+
+        try:
+            regions = preset_regions(merged["preset"])
+        except KeyError as exc:
+            raise SweepSpecError(str(exc.args[0])) from exc
+        if len(regions) != merged["dcs"]:
+            raise SweepSpecError(
+                f"preset {merged['preset']!r} names {len(regions)} regions "
+                f"but the deployment has {merged['dcs']} DCs"
+            )
     config = SimulationConfig(
         cluster=cluster,
         workload=workload,
@@ -184,6 +201,7 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
         duration=merged["duration"],
         visibility_sample_rate=merged["visibility_sample_rate"],
         faults=resolve_fault_plan(merged["faults"]),
+        regions=regions,
         protocol_name=protocol,
     )
     return config, protocol

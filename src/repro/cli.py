@@ -202,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print bare protocol names, one per line (for scripting/CI)",
     )
+    protocols_cmd.add_argument(
+        "--consistency",
+        metavar="LEVEL",
+        default=None,
+        help="only list protocols claiming this consistency level "
+        "(e.g. 'tcc'; drives CI's reconfig matrix)",
+    )
 
     topology_cmd = commands.add_parser("topology", help="describe a deployment")
     topology_cmd.add_argument("--dcs", type=int, default=5)
@@ -247,6 +254,13 @@ def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dcs", type=int, default=3, help="number of DCs")
+    parser.add_argument(
+        "--preset",
+        metavar="NAME",
+        default=None,
+        help="geo-real topology preset naming one cloud region per DC "
+        "(see docs/topologies.md); must match --dcs",
+    )
     parser.add_argument("--machines", type=int, default=2, help="machines per DC")
     parser.add_argument("--rf", type=int, default=2, help="replication factor")
     parser.add_argument("--threads", type=int, default=4, help="threads per client")
@@ -283,6 +297,7 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
         "duration": args.duration,
         "seed": args.seed,
         "faults": getattr(args, "faults", None) or None,
+        "preset": getattr(args, "preset", None),
     }
     config, _ = sweep.config_from_params(params)
     return config
@@ -580,6 +595,10 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     # import sequence, and scripted consumers (CI's protocol matrix) want a
     # stable listing.
     protocols = sorted(all_protocols(), key=lambda spec: spec.name)
+    if args.consistency is not None:
+        protocols = [
+            spec for spec in protocols if spec.consistency == args.consistency
+        ]
     if args.names:
         for spec in protocols:
             print(spec.name)

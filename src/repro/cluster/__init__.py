@@ -1,5 +1,13 @@
 """Cluster shape and placement substrate."""
 
+from .membership import Membership, MembershipError
 from .topology import ClusterSpec, StabilizationTree, client_address, server_address
 
-__all__ = ["ClusterSpec", "StabilizationTree", "client_address", "server_address"]
+__all__ = [
+    "ClusterSpec",
+    "Membership",
+    "MembershipError",
+    "StabilizationTree",
+    "client_address",
+    "server_address",
+]

@@ -1,0 +1,169 @@
+"""Dynamic cluster membership: the mutable placement view of a deployment.
+
+:class:`~repro.cluster.topology.ClusterSpec` describes the deployment the
+run *started* with and stays immutable — it keys replica indices, address
+interning, and the golden digests.  :class:`Membership` is the mutable
+overlay that reconfiguration events (``add_replica`` / ``remove_replica`` /
+``add_dc`` / ``remove_dc``, see docs/faults.md) edit mid-run: which DCs
+host each partition right now, and which DCs are active at all.
+
+Every routing or placement decision that can change mid-run goes through
+this class; everything keeps going through the spec so that a run with no
+membership events is byte-identical to a run built before this layer
+existed.  ``preferred_dc`` reproduces the spec's round-robin formula
+exactly whenever the replica set is untouched.
+
+Joining replicas are **appended** to the replica tuple, so the replica
+indices of incumbent DCs — which tag version provenance and golden traces
+— never shift under a reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from .topology import ClusterSpec, StabilizationTree
+
+
+class MembershipError(ValueError):
+    """Raised for membership mutations that would corrupt the placement."""
+
+
+class Membership:
+    """The current replica placement and active-DC set of a running cluster.
+
+    Starts as an exact copy of the spec's static placement; fault-plane
+    reconfiguration events mutate it.  ``epoch`` counts mutations so
+    long-lived components can detect that a rebuild happened.
+    """
+
+    __slots__ = ("spec", "epoch", "_replicas", "_active_dcs")
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.epoch = 0
+        #: partition -> DC ids hosting it, in replica-index order (joiners
+        #: appended at the end so incumbent indices are stable).
+        self._replicas: Dict[int, Tuple[int, ...]] = {
+            partition: spec.replica_dcs(partition)
+            for partition in range(spec.n_partitions)
+        }
+        self._active_dcs = set(range(spec.n_dcs))
+
+    # ------------------------------------------------------------------
+    # Queries (the dynamic counterparts of ClusterSpec's placement API)
+    # ------------------------------------------------------------------
+    def replica_dcs(self, partition: int) -> Tuple[int, ...]:
+        """DC ids currently hosting ``partition``, in join order."""
+        return self._replicas[partition]
+
+    def is_replicated_at(self, partition: int, dc_id: int) -> bool:
+        """Whether ``dc_id`` currently stores a replica of ``partition``."""
+        return dc_id in self._replicas[partition]
+
+    def dc_partitions(self, dc_id: int) -> Tuple[int, ...]:
+        """Partitions currently hosted by ``dc_id``, ascending."""
+        return tuple(
+            partition
+            for partition in range(self.spec.n_partitions)
+            if dc_id in self._replicas[partition]
+        )
+
+    def preferred_dc(self, partition: int, local_dc: int) -> int:
+        """Which DC a client in ``local_dc`` routes ``partition`` traffic to.
+
+        Local if the partition is replicated locally; otherwise a fixed
+        remote replica assigned round-robin across DCs — the spec's formula,
+        modulo the *current* replica count so routing always lands on a
+        member.
+        """
+        dcs = self._replicas[partition]
+        if local_dc in dcs:
+            return local_dc
+        return dcs[local_dc % len(dcs)]
+
+    @property
+    def active_dcs(self) -> FrozenSet[int]:
+        """The DCs currently participating in the deployment."""
+        return frozenset(self._active_dcs)
+
+    @property
+    def n_active_dcs(self) -> int:
+        """How many DCs are currently active (the UST quorum size)."""
+        return len(self._active_dcs)
+
+    def is_active_dc(self, dc_id: int) -> bool:
+        """Whether ``dc_id`` currently participates in the deployment."""
+        return dc_id in self._active_dcs
+
+    def dc_tree(self, dc_id: int, fanout: int = 2) -> StabilizationTree:
+        """The intra-DC aggregation tree over the DC's *current* partitions."""
+        members = list(self.dc_partitions(dc_id))
+        return StabilizationTree(dc_id=dc_id, members=members, fanout=fanout)
+
+    def matches_spec(self) -> bool:
+        """True while no membership event has diverged from the static spec."""
+        return self.epoch == 0
+
+    # ------------------------------------------------------------------
+    # Mutations (driven by the fault plane's membership events)
+    # ------------------------------------------------------------------
+    def add_replica(self, dc_id: int, partition: int) -> None:
+        """Add a replica of ``partition`` in ``dc_id`` (appended last)."""
+        self._check_ids(dc_id, partition)
+        if dc_id not in self._active_dcs:
+            raise MembershipError(
+                f"cannot add a replica in DC {dc_id}: the DC is not active "
+                "(add_dc it first)"
+            )
+        if dc_id in self._replicas[partition]:
+            raise MembershipError(
+                f"DC {dc_id} already hosts a replica of partition {partition}"
+            )
+        self._replicas[partition] = self._replicas[partition] + (dc_id,)
+        self.epoch += 1
+
+    def remove_replica(self, dc_id: int, partition: int) -> None:
+        """Remove ``partition``'s replica in ``dc_id`` (never the last copy)."""
+        self._check_ids(dc_id, partition)
+        dcs = self._replicas[partition]
+        if dc_id not in dcs:
+            raise MembershipError(
+                f"DC {dc_id} hosts no replica of partition {partition} to remove"
+            )
+        if len(dcs) == 1:
+            raise MembershipError(
+                f"cannot remove the last replica of partition {partition} "
+                f"(DC {dc_id})"
+            )
+        self._replicas[partition] = tuple(dc for dc in dcs if dc != dc_id)
+        self.epoch += 1
+
+    def activate_dc(self, dc_id: int) -> None:
+        """Bring ``dc_id`` (back) into the deployment, hosting nothing yet."""
+        self.spec._check_dc(dc_id)
+        if dc_id in self._active_dcs:
+            raise MembershipError(f"DC {dc_id} is already active")
+        self._active_dcs.add(dc_id)
+        self.epoch += 1
+
+    def deactivate_dc(self, dc_id: int) -> None:
+        """Retire ``dc_id`` from the deployment (it must host nothing)."""
+        self.spec._check_dc(dc_id)
+        if dc_id not in self._active_dcs:
+            raise MembershipError(f"DC {dc_id} is not active")
+        hosted = self.dc_partitions(dc_id)
+        if hosted:
+            raise MembershipError(
+                f"cannot deactivate DC {dc_id}: it still hosts partitions "
+                f"{list(hosted)} (remove_replica them first)"
+            )
+        if len(self._active_dcs) == 1:
+            raise MembershipError("cannot deactivate the last active DC")
+        self._active_dcs.discard(dc_id)
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    def _check_ids(self, dc_id: int, partition: int) -> None:
+        self.spec._check_dc(dc_id)
+        self.spec._check_partition(partition)

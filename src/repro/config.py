@@ -19,7 +19,7 @@ docs/architecture.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from .cluster.topology import ClusterSpec
 from .faults.plan import FaultPlan
@@ -96,6 +96,29 @@ class ClockConfig:
             raise ValueError("clock bounds must be non-negative")
         if self.mode not in ("hlc", "logical"):
             raise ValueError(f"clock mode must be 'hlc' or 'logical': {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class ReconfigConfig:
+    """Membership-change (elastic reconfiguration) behaviour.
+
+    Governs how the fault plane executes ``add_replica`` / ``remove_replica``
+    / ``add_dc`` / ``remove_dc`` events: joins migrate a snapshot from a
+    donor replica before the joiner serves traffic; leaves drain in-flight
+    transactions for ``drain_delay`` seconds before teardown.
+    """
+
+    #: Seconds a departing replica keeps serving while clients re-route and
+    #: in-flight transactions finish before it is torn down.
+    drain_delay: float = 0.25
+    #: Negative-test knob: skip the snapshot catch-up when a replica joins,
+    #: so the joiner serves stale state — exactly the fracture the
+    #: consistency checkers must catch.  Never enable outside tests.
+    skip_catchup: bool = False
+
+    def __post_init__(self) -> None:
+        if self.drain_delay < 0:
+            raise ValueError("drain_delay must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -190,6 +213,12 @@ class SimulationConfig:
     visibility_sample_rate: float = 0.0
     #: Deterministic fault schedule applied during the run (None = healthy).
     faults: Optional[FaultPlan] = None
+    #: Membership-change behaviour (drain window, negative-test knobs).
+    reconfig: ReconfigConfig = field(default_factory=ReconfigConfig)
+    #: Named cloud regions hosting the DCs, indexed by DC id (length must
+    #: equal ``cluster.n_dcs``).  None keeps the paper deployment: the
+    #: first ``n_dcs`` regions of the 10-region RTT matrix.
+    regions: Optional[Tuple[str, ...]] = None
     #: Registered protocol the experiment runs (see repro.protocols); entry
     #: points may override it with an explicit ``protocol=`` argument.
     protocol_name: str = "paris"
@@ -212,6 +241,17 @@ class SimulationConfig:
             )
         if self.cluster.n_dcs > 10:
             raise ValueError("the latency model covers at most 10 regions")
+        if self.regions is not None:
+            from .sim.latency import REGIONS
+
+            if len(self.regions) != self.cluster.n_dcs:
+                raise ValueError(
+                    f"regions lists {len(self.regions)} entries for "
+                    f"{self.cluster.n_dcs} DCs"
+                )
+            unknown = [r for r in self.regions if r not in REGIONS]
+            if unknown:
+                raise ValueError(f"unknown regions: {unknown}")
         if self.faults is not None:
             self.faults.validate_for(self.cluster)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..cluster.membership import Membership
 from ..cluster.topology import ClusterSpec, client_address, server_address
 from ..config import SimulationConfig
 from ..sim.future import Future, map_future
@@ -78,13 +79,20 @@ class PaRiSClient(Node):
         coordinator_partition: int,
         client_index: int = 0,
         oracle: Optional["ConsistencyOracle"] = None,
+        membership: Optional[Membership] = None,
     ) -> None:
         address = client_address(dc_id, coordinator_partition, client_index)
         super().__init__(network, address, dc_id, cpu=None)
         self.spec = spec
         self.config = config
+        #: Live replica placement; with no membership changes this mirrors
+        #: ``spec`` exactly (clients built standalone get a private copy).
+        self.membership = membership if membership is not None else Membership(spec)
         self.coordinator = server_address(dc_id, coordinator_partition)
+        self.coordinator_partition = coordinator_partition
         self.oracle = oracle
+        #: Coordinator re-route deferred until the open transaction closes.
+        self._pending_coordinator: Optional[str] = None
 
         #: Highest stable snapshot observed by this client (ust_c).
         self.last_snapshot = 0
@@ -327,10 +335,16 @@ class PaRiSClient(Node):
     def _on_committed(self, resp: CommitResp) -> int:
         commit_ts = resp.commit_ts
         self.highest_write_ts = commit_ts
+        # Version provenance comes from the coordinator's cohort echo: the
+        # replica that actually applied each slice, even if a membership
+        # change re-routed the partition while the commit was in flight.
+        cohort_map = dict(resp.cohorts)
         written: Dict[str, Version] = {}
         for key, value in self._write_set.items():
             partition = self.spec.key_to_partition(key)
-            source_dc = self.spec.preferred_dc(partition, self.dc_id)
+            source_dc = cohort_map.get(
+                partition, self.membership.preferred_dc(partition, self.dc_id)
+            )
             version = Version(key=key, value=value, ut=commit_ts, tid=resp.tid, sr=source_dc)
             self.cache.insert(version)
             written[key] = version
@@ -368,8 +382,26 @@ class PaRiSClient(Node):
         """
         self._clear_transaction()
 
+    def rebind_coordinator(self, partition: int) -> None:
+        """Re-route the session to another local coordinator partition.
+
+        Used when a membership change retires this session's coordinator
+        replica.  An open transaction keeps talking to the old coordinator
+        (its context lives there, and the drain window lets it finish); the
+        swap takes effect when the transaction closes.
+        """
+        address = server_address(self.dc_id, partition)
+        self.coordinator_partition = partition
+        if self._tid is not None:
+            self._pending_coordinator = address
+        else:
+            self.coordinator = address
+
     def _clear_transaction(self) -> None:
         self._tid = None
         self._snapshot = None
         self._write_set = {}
         self._read_set = {}
+        if self._pending_coordinator is not None:
+            self.coordinator = self._pending_coordinator
+            self._pending_coordinator = None

@@ -129,9 +129,20 @@ class CommitResp:
 
     tid: TransactionId
     commit_ts: int
+    #: ``(partition, dc_id)`` pairs naming the cohort that applied each write
+    #: slice.  The client derives version provenance (``sr``) from this echo
+    #: rather than recomputing the routing itself: under a membership change
+    #: the preferred replica can flip between commit send and response, and
+    #: the identities would diverge.
+    cohorts: Tuple[Tuple[int, int], ...] = ()
 
     def metadata_bytes(self) -> int:
-        """Causal-metadata wire bytes this message carries."""
+        """Causal-metadata wire bytes this message carries.
+
+        The cohort echo is routing bookkeeping, not causal metadata — the
+        client already named every partition in the request — so only the
+        commit timestamp is counted.
+        """
         return 8
 
 
@@ -297,6 +308,24 @@ class HeartbeatMsg:
     """Idle-period version-clock announcement (Algorithm 4 line 21)."""
 
     ts: int
+
+    def metadata_bytes(self) -> int:
+        """Causal-metadata wire bytes this message carries."""
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class RetireMsg:
+    """A departing replica's final word: drop my version-clock entry.
+
+    Sent by a replica leaving the membership (``remove_replica``) after its
+    final replication flush.  FIFO ordering guarantees every update the
+    leaver ever shipped precedes this message, so on receipt a peer may
+    remove the leaver's VV entry — its ``min(VV)`` stops waiting on a clock
+    that will never advance again — and re-evaluate parked reads.
+    """
+
+    dc_id: int
 
     def metadata_bytes(self) -> int:
         """Causal-metadata wire bytes this message carries."""

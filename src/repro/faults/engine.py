@@ -11,7 +11,10 @@ corresponding hook fires:
 * ``degrade`` / ``restore`` → :meth:`repro.sim.network.Network.degrade_link`
   / ``.restore_link()`` (extra latency, retransmission-causing loss);
 * ``skew`` → :meth:`repro.clocks.physical.PhysicalClock.nudge` (step a
-  server's clock offset).
+  server's clock offset);
+* ``add_replica`` / ``remove_replica`` / ``add_dc`` / ``remove_dc`` →
+  :class:`repro.faults.reconfig.ReconfigManager` (membership change with
+  deterministic data migration and stabilization-tree rebuild).
 
 Determinism: events are installed in plan order before (or during) the run,
 so the kernel's sequence-number tie-break fires same-time events in plan
@@ -29,6 +32,7 @@ from .plan import FaultEvent, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..bench.harness import Cluster
+    from .reconfig import ReconfigManager
 
 
 class FaultInjectionError(RuntimeError):
@@ -43,6 +47,16 @@ class FaultInjector:
         self.plan: FaultPlan = FaultPlan()
         #: ``(applied_at, event)`` pairs, in application order.
         self.log: List[Tuple[float, FaultEvent]] = []
+        self._reconfig = None
+
+    @property
+    def reconfig(self) -> "ReconfigManager":
+        """The membership-change executor (created on first use)."""
+        if self._reconfig is None:
+            from .reconfig import ReconfigManager
+
+            self._reconfig = ReconfigManager(self._cluster)
+        return self._reconfig
 
     @property
     def events_applied(self) -> int:
@@ -112,3 +126,15 @@ class FaultInjector:
 
     def _apply_skew(self, event: FaultEvent) -> None:
         self._cluster.server(event.dc, event.partition).clock.nudge(event.offset)
+
+    def _apply_add_replica(self, event: FaultEvent) -> None:
+        self.reconfig.add_replica(event)
+
+    def _apply_remove_replica(self, event: FaultEvent) -> None:
+        self.reconfig.remove_replica(event)
+
+    def _apply_add_dc(self, event: FaultEvent) -> None:
+        self.reconfig.add_dc(event)
+
+    def _apply_remove_dc(self, event: FaultEvent) -> None:
+        self.reconfig.remove_dc(event)

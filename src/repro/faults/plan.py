@@ -20,11 +20,20 @@ degrade      dcs [+extra_latency,  add latency and/or retransmission-
 restore      dcs *or* nothing      undo ``degrade`` for one link (or all)
 skew         dc, partition,        step one server's physical clock by
              offset                ``offset`` seconds
+add_replica  dc, partition         join a new replica of ``partition`` at
+                                   ``dc`` (snapshot migration + catch-up)
+remove_replica dc, partition       gracefully retire one replica (drain,
+                                   final flush, clock retirement)
+add_dc       dc                    re-activate a removed DC and rejoin its
+                                   spec placement, partition by partition
+remove_dc    dc                    retire every replica a DC hosts, then
+                                   deactivate the DC
 =========== ===================== =======================================
 
 Determinism: a plan carries no randomness of its own.  Fault times are
-absolute simulated seconds, events at equal times apply in plan order, and
-any randomness a fault *induces* (e.g. loss retransmission draws) flows
+absolute simulated seconds, events must be listed in non-decreasing ``at``
+order (out-of-order plans are rejected — equal times apply in plan order),
+and any randomness a fault *induces* (e.g. loss retransmission draws) flows
 through dedicated named RNG streams — so one (seed, plan) pair always yields
 one trajectory.
 """
@@ -39,10 +48,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..cluster.topology import ClusterSpec
 
 #: Actions a :class:`FaultEvent` may carry.
-ACTIONS = ("crash", "recover", "partition", "heal", "degrade", "restore", "skew")
+ACTIONS = (
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "degrade",
+    "restore",
+    "skew",
+    "add_replica",
+    "remove_replica",
+    "add_dc",
+    "remove_dc",
+)
 
 #: Actions that target one server replica via ``dc`` + ``partition``.
 _SERVER_ACTIONS = ("crash", "recover", "skew")
+
+#: Membership actions that target one replica via ``dc`` + ``partition``.
+_MEMBER_ACTIONS = ("add_replica", "remove_replica")
+
+#: Membership actions that target a whole DC via ``dc``.
+_DC_ACTIONS = ("add_dc", "remove_dc")
 
 #: Actions that target an inter-DC link via ``dcs``.
 _LINK_ACTIONS = ("partition", "heal", "degrade", "restore")
@@ -74,6 +101,10 @@ _RELEVANT_FIELDS: Dict[str, frozenset] = {
     "restore": frozenset({"dcs"}),
     "degrade": frozenset({"dcs", "extra_latency", "loss"}),
     "skew": frozenset({"dc", "partition", "offset"}),
+    "add_replica": frozenset({"dc", "partition"}),
+    "remove_replica": frozenset({"dc", "partition"}),
+    "add_dc": frozenset({"dc"}),
+    "remove_dc": frozenset({"dc"}),
 }
 
 _IRRELEVANT_FIELDS: Dict[str, frozenset] = {
@@ -88,6 +119,10 @@ _FIELD_HINTS: Dict[str, str] = {
     "restore": "'dcs' or nothing",
     "degrade": "'dcs' with 'extra_latency' and/or 'loss'",
     "skew": "'dc' + 'partition' + 'offset'",
+    "add_replica": "'dc' + 'partition'",
+    "remove_replica": "'dc' + 'partition'",
+    "add_dc": "'dc'",
+    "remove_dc": "'dc'",
 }
 
 
@@ -121,9 +156,12 @@ class FaultEvent:
             object.__setattr__(self, "dcs", tuple(self.dcs))
             if len(self.dcs) != 2 or self.dcs[0] == self.dcs[1]:
                 raise FaultPlanError(f"dcs must name two distinct DCs: {self.dcs}")
-        if self.action in _SERVER_ACTIONS:
+        if self.action in _SERVER_ACTIONS or self.action in _MEMBER_ACTIONS:
             if self.dc is None or self.partition is None:
                 raise FaultPlanError(f"{self.action!r} needs both 'dc' and 'partition'")
+        elif self.action in _DC_ACTIONS:
+            if self.dc is None:
+                raise FaultPlanError(f"{self.action!r} needs 'dc'")
         elif self.action == "partition":
             if (self.dc is None) == (self.dcs is None):
                 raise FaultPlanError("'partition' needs either 'dcs' (a pair) or 'dc' (isolate)")
@@ -197,9 +235,18 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         events = tuple(self.events)
-        # Stable-sort by firing time so same-time events keep plan order;
-        # the engine then relies on kernel scheduling order for ties.
-        object.__setattr__(self, "events", tuple(sorted(events, key=lambda e: e.at)))
+        object.__setattr__(self, "events", events)
+        # Reject out-of-order schedules instead of silently re-sorting:
+        # membership and crash/recover pairings are order-sensitive, and a
+        # silently reordered plan no longer means what its author wrote.
+        for index, (prev, cur) in enumerate(zip(events, events[1:])):
+            if cur.at < prev.at:
+                raise FaultPlanError(
+                    f"events out of order: event {index + 1} "
+                    f"({cur.action!r} at t={cur.at}) fires before event {index} "
+                    f"({prev.action!r} at t={prev.at}); list events in "
+                    f"non-decreasing 'at' order (equal times keep plan order)"
+                )
         self._check_pairing()
 
     def _check_pairing(self) -> None:
@@ -228,21 +275,85 @@ class FaultPlan:
         return self.events[-1].at if self.events else 0.0
 
     def validate_for(self, spec: "ClusterSpec") -> None:
-        """Check every event's target against a concrete deployment."""
+        """Check every event's target against a concrete deployment.
+
+        Walks the plan in time order while simulating the membership it
+        induces, so server and membership actions are checked against the
+        placement *at their firing time*, not the static spec: a ``crash``
+        of a replica an earlier ``remove_replica`` retired is rejected, a
+        ``crash`` of a replica an earlier ``add_replica`` created is
+        accepted, and contradictory membership pairs (removing a
+        non-member, re-adding a member, retiring a crashed replica that
+        can no longer drain) fail with errors naming the earlier event.
+        """
+        # Late import: cluster does not import faults, so no cycle.
+        from ..cluster.membership import Membership, MembershipError
+
+        membership = Membership(spec)
+        down: set = set()
         for event in self.events:
+            where = f"event at t={event.at} ({event.action!r})"
             for dc in self._target_dcs(event):
                 if not 0 <= dc < spec.n_dcs:
                     raise FaultPlanError(
-                        f"event at t={event.at}: DC {dc} out of range (deployment has "
+                        f"{where}: DC {dc} out of range (deployment has "
                         f"{spec.n_dcs} DCs)"
                     )
+            target = (event.dc, event.partition)
             if event.action in _SERVER_ACTIONS:
-                hosted = spec.dc_partitions(event.dc)
+                hosted = membership.dc_partitions(event.dc)
                 if event.partition not in hosted:
                     raise FaultPlanError(
-                        f"event at t={event.at}: DC {event.dc} hosts no replica of "
-                        f"partition {event.partition} (hosted: {hosted})"
+                        f"{where}: DC {event.dc} hosts no replica of partition "
+                        f"{event.partition} at that time (hosted: {hosted})"
                     )
+                if event.action == "crash":
+                    down.add(target)
+                elif event.action == "recover":
+                    down.discard(target)
+            elif event.action == "remove_replica":
+                if target in down:
+                    raise FaultPlanError(
+                        f"{where}: replica {target} is crashed at that time and "
+                        f"cannot drain; 'recover' it before retiring it"
+                    )
+                self._apply_membership(membership, event, where)
+            elif event.action == "add_replica":
+                self._apply_membership(membership, event, where)
+            elif event.action == "remove_dc":
+                crashed = [p for p in membership.dc_partitions(event.dc) if (event.dc, p) in down]
+                if crashed:
+                    raise FaultPlanError(
+                        f"{where}: DC {event.dc} has crashed replicas of partitions "
+                        f"{crashed} that cannot drain; 'recover' them before "
+                        f"removing the DC"
+                    )
+                self._apply_membership(membership, event, where)
+            elif event.action == "add_dc":
+                self._apply_membership(membership, event, where)
+
+    @staticmethod
+    def _apply_membership(
+        membership: "Membership", event: FaultEvent, where: str
+    ) -> None:
+        """Advance the simulated membership by one event (errors annotated)."""
+        from ..cluster.membership import MembershipError
+
+        try:
+            if event.action == "add_replica":
+                membership.add_replica(event.dc, event.partition)
+            elif event.action == "remove_replica":
+                membership.remove_replica(event.dc, event.partition)
+            elif event.action == "add_dc":
+                membership.activate_dc(event.dc)
+                for partition in membership.spec.dc_partitions(event.dc):
+                    membership.add_replica(event.dc, partition)
+            elif event.action == "remove_dc":
+                for partition in membership.dc_partitions(event.dc):
+                    membership.remove_replica(event.dc, partition)
+                membership.deactivate_dc(event.dc)
+        except MembershipError as exc:
+            raise FaultPlanError(f"{where}: {exc}") from exc
 
     @staticmethod
     def _target_dcs(event: FaultEvent) -> List[int]:

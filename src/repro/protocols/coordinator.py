@@ -111,7 +111,7 @@ class TxCoordinator:
             slices.setdefault(server.spec.key_to_partition(key), []).append(key)
         futures = []
         for partition, keys in slices.items():
-            target_dc = server.spec.preferred_dc(partition, server.dc_id)
+            target_dc = server.membership.preferred_dc(partition, server.dc_id)
             target = server_address(target_dc, partition)
             futures.append(
                 server.request(target, ReadSliceReq(keys=tuple(keys), snapshot=snapshot))
@@ -140,7 +140,7 @@ class TxCoordinator:
             slices.setdefault(server.spec.key_to_partition(key), []).append(key)
         futures = []
         for partition, keys in slices.items():
-            target_dc = server.spec.preferred_dc(partition, server.dc_id)
+            target_dc = server.membership.preferred_dc(partition, server.dc_id)
             target = server_address(target_dc, partition)
             futures.append(
                 server.request(target, ReadSliceReq(keys=tuple(keys), snapshot=snapshot))
@@ -169,11 +169,13 @@ class TxCoordinator:
         for key, value in msg.writes:
             slices.setdefault(server.spec.key_to_partition(key), []).append((key, value))
         targets: List[str] = []
+        cohorts: List[Tuple[int, int]] = []
         futures = []
         for partition, pairs in slices.items():
-            target_dc = server.spec.preferred_dc(partition, server.dc_id)
+            target_dc = server.membership.preferred_dc(partition, server.dc_id)
             target = server_address(target_dc, partition)
             targets.append(target)
+            cohorts.append((partition, target_dc))
             futures.append(
                 server.request(
                     target,
@@ -210,7 +212,11 @@ class TxCoordinator:
                     server.sim.now, "commit", server.address,
                     tid=msg.tid, commit_ts=commit_ts, partitions=len(targets),
                 )
-            reply(CommitResp(tid=msg.tid, commit_ts=commit_ts))
+            reply(
+                CommitResp(
+                    tid=msg.tid, commit_ts=commit_ts, cohorts=tuple(cohorts)
+                )
+            )
 
         all_of(futures).add_done_callback(lambda fut: decide(fut.value))
 

@@ -138,7 +138,7 @@ class CopsReplication(ReplicationPipeline):
                 waits.append(future)
             else:
                 target = server_address(
-                    server.spec.preferred_dc(partition, server.dc_id), partition
+                    server.membership.preferred_dc(partition, server.dc_id), partition
                 )
                 waits.append(server.request(target, DepCheckReq(key=key, ut=ut)))
         if not waits:
@@ -156,6 +156,7 @@ class CopsReplication(ReplicationPipeline):
             group.source_dc,
             group.decided_at,
             group.deps,
+            dedup=True,
         )
         server.metrics.updates_applied_remote += len(group.writes)
 
@@ -180,9 +181,12 @@ class CopsReplication(ReplicationPipeline):
         source_dc: int,
         decided_at: float,
         deps: Any = None,
+        dedup: bool = False,
     ) -> None:
         """Install the writes, then wake any checks they satisfy."""
-        super().apply_writes(writes, commit_ts, tid, source_dc, decided_at, deps)
+        super().apply_writes(
+            writes, commit_ts, tid, source_dc, decided_at, deps, dedup=dedup
+        )
         parked = self.parked_checks
         if not parked:
             return

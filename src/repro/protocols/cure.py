@@ -84,8 +84,8 @@ class CureStabilization(StabilizationService):
         """Applied watermark per source DC (no-constraint where vacuous)."""
         server = self.server
         vec = [_NO_CONSTRAINT] * server.spec.n_dcs
-        for index, dc in enumerate(server.replica_dcs):
-            vec[dc] = server.vv[index]
+        for dc, watermark in server.vv.items():
+            vec[dc] = watermark
         return tuple(vec)
 
     # ------------------------------------------------------------------
@@ -128,7 +128,13 @@ class CureStabilization(StabilizationService):
         self.child_reports[msg.partition] = msg
 
     def handle_dc_vec(self, src: str, msg: DcVecMsg, reply: Callable) -> None:
-        """Root gossip: record another DC's vector (entrywise monotone)."""
+        """Root gossip: record another DC's vector (entrywise monotone).
+
+        Like the scalar plane, gossip from retired DCs is dropped so the
+        USV stops waiting on reporters that will never speak again.
+        """
+        if not self.server.membership.is_active_dc(msg.dc_id):
+            return
         previous = self.dc_reports.get(msg.dc_id)
         vec = msg.stable_vec
         if previous is not None:
@@ -141,7 +147,7 @@ class CureStabilization(StabilizationService):
     def ust_tick(self) -> None:
         """Compute the USV from every DC's report and push it down the tree."""
         server = self.server
-        if len(self.dc_reports) < server.spec.n_dcs:
+        if len(self.dc_reports) < server.membership.n_active_dcs:
             return
         columns = zip(*(vec for vec, _ in self.dc_reports.values()))
         usv = tuple(min(column) for column in columns)
@@ -217,7 +223,7 @@ class CureReadProtocol(ReadProtocol):
         server = self.server
         vec = list(deps) if deps is not None else [0] * server.spec.n_dcs
         for partition in write_partitions:
-            dc = server.spec.preferred_dc(partition, server.dc_id)
+            dc = server.membership.preferred_dc(partition, server.dc_id)
             if vec[dc] < commit_ts:
                 vec[dc] = commit_ts
         return tuple(vec)
@@ -329,10 +335,13 @@ class CureClient(PaRiSClient):
         return tuple(max(a, b) for a, b in zip(self.last_snapshot, self._own_vec))
 
     def _on_committed(self, resp) -> int:
-        cohorts = {
-            self.spec.preferred_dc(self.spec.key_to_partition(key), self.dc_id)
-            for key in self._write_set
-        }
+        if resp.cohorts:
+            cohorts = {dc for _, dc in resp.cohorts}
+        else:
+            cohorts = {
+                self.membership.preferred_dc(self.spec.key_to_partition(key), self.dc_id)
+                for key in self._write_set
+            }
         commit_ts = super()._on_committed(resp)
         for dc in cohorts:
             if self._own_vec[dc] < commit_ts:

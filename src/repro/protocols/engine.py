@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..clocks.hlc import HybridLogicalClock
 from ..clocks.physical import PhysicalClock
+from ..cluster.membership import Membership
 from ..cluster.topology import ClusterSpec, server_address
 from ..config import SimulationConfig
 from ..core.messages import (
@@ -93,7 +94,7 @@ class ProtocolServer(Node):
         "spec",
         "config",
         "partition",
-        "replica_dcs",
+        "membership",
         "replica_index",
         "uid",
         "clock",
@@ -123,16 +124,20 @@ class ProtocolServer(Node):
         dc_id: int,
         partition: int,
         rngs: RngRegistry,
+        membership: Optional[Membership] = None,
     ) -> None:
         address = server_address(dc_id, partition)
         super().__init__(network, address, dc_id, cpu=Cpu(network.sim, config.service.cores))
         self.spec = spec
         self.config = config
         self.partition = partition
-        self.replica_dcs: Tuple[int, ...] = spec.replica_dcs(partition)
-        if dc_id not in self.replica_dcs:
+        #: The cluster-wide dynamic placement (shared across all servers of a
+        #: run; a private static copy when constructed standalone in tests).
+        self.membership = membership if membership is not None else Membership(spec)
+        replica_dcs = self.membership.replica_dcs(partition)
+        if dc_id not in replica_dcs:
             raise ValueError(f"DC {dc_id} does not replicate partition {partition}")
-        self.replica_index = spec.replica_index(partition, dc_id)
+        self.replica_index = replica_dcs.index(dc_id)
         #: Unique integer id of this server, embedded in transaction ids.
         self.uid = dc_id * spec.n_partitions + partition
 
@@ -152,8 +157,10 @@ class ProtocolServer(Node):
         self.store = MultiVersionStore()
         self.metrics = ServerMetrics()
 
-        #: Version vector over this partition's replicas (VV_n^m).
-        self.vv: List[int] = [0] * spec.replication_factor
+        #: Version vector over this partition's replicas (VV_n^m), keyed by
+        #: DC id so entries survive membership changes (join order = replica
+        #: order, so iteration order matches the old index order exactly).
+        self.vv: Dict[int, int] = {dc: 0 for dc in replica_dcs}
         #: Universal stable time known to this server (ust_n^m).
         self.ust = 0
         #: Global GC bound (S_old) received from the stabilization plane.
@@ -237,10 +244,9 @@ class ProtocolServer(Node):
         server's ``min(VV)`` is conservative, which can only *stall* the UST
         (it is adopted monotonically everywhere), never regress it.
         """
-        own = self.replica_index
-        for index in range(len(self.vv)):
-            if index != own:
-                self.vv[index] = 0
+        own_watermark = self.vv.get(self.dc_id, 0)
+        self.vv = {dc: 0 for dc in self.replica_dcs}
+        self.vv[self.dc_id] = own_watermark
         self.resume_delivery()
         self.start()
 
@@ -336,6 +342,11 @@ class ProtocolServer(Node):
     # Introspection helpers (tests, harness)
     # ------------------------------------------------------------------
     @property
+    def replica_dcs(self) -> Tuple[int, ...]:
+        """DCs currently replicating this partition (membership-driven)."""
+        return self.membership.replica_dcs(self.partition)
+
+    @property
     def is_root(self) -> bool:
         """Whether this server is its DC's stabilization-tree root."""
         if self.stabilization is None:
@@ -345,7 +356,7 @@ class ProtocolServer(Node):
     @property
     def local_stable_time(self) -> int:
         """min(VV): everything at or below this is installed locally."""
-        return min(self.vv)
+        return min(self.vv.values())
 
     @property
     def prepared_count(self) -> int:

@@ -208,7 +208,9 @@ class OccultClient(PaRiSClient):
         for key in keys:
             slices.setdefault(spec.key_to_partition(key), []).append(key)
         targets = {
-            partition: server_address(spec.preferred_dc(partition, self.dc_id), partition)
+            partition: server_address(
+                self.membership.preferred_dc(partition, self.dc_id), partition
+            )
             for partition in slices
         }
         responses: Dict[int, ReadSliceResp] = {}

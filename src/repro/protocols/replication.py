@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Tuple
 
 from ..clocks.hlc import pack
 from ..cluster.topology import server_address
-from ..core.messages import HeartbeatMsg, ReplicatedTx, ReplicateMsg
+from ..core.messages import HeartbeatMsg, ReplicatedTx, ReplicateMsg, RetireMsg
 from ..storage.version import TransactionId
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
@@ -50,6 +50,7 @@ class ReplicationPipeline:
         return {
             ReplicateMsg: self.handle_replicate,
             HeartbeatMsg: self.handle_heartbeat,
+            RetireMsg: self.handle_retire,
         }
 
     # ------------------------------------------------------------------
@@ -129,11 +130,12 @@ class ReplicationPipeline:
         source_dc: int,
         decided_at: float,
         deps: Any = None,
+        dedup: bool = False,
     ) -> None:
         """Install one transaction's writes into the multiversion store."""
         server = self.server
         for key, value in writes:
-            server.store.apply(key, value, commit_ts, tid, source_dc, deps)
+            server.store.apply(key, value, commit_ts, tid, source_dc, deps, dedup=dedup)
         if server.tracer.enabled:
             server.tracer.emit(
                 server.sim.now, "apply", server.address,
@@ -144,13 +146,13 @@ class ReplicationPipeline:
     def advance_version_clock(self, value: int) -> None:
         """Advance this replica's own VV entry (never backwards)."""
         server = self.server
-        index = server.replica_index
-        if value < server.vv[index]:
+        own = server.vv.get(server.dc_id, 0)
+        if value < own:
             raise AssertionError(
                 f"version clock would regress at {server.address}: "
-                f"{server.vv[index]} -> {value}"
+                f"{own} -> {value}"
             )
-        server.vv[index] = value
+        server.vv[server.dc_id] = value
         server.reads.on_stable_advance()
 
     # ------------------------------------------------------------------
@@ -160,6 +162,8 @@ class ReplicationPipeline:
         """Apply a peer replica's batch and adopt its watermark."""
         server = self.server
         for group in msg.groups:
+            # dedup: a batch in flight across a membership change can overlap
+            # the join-time snapshot transfer and backfill (at-least-once).
             self.apply_writes(
                 group.writes,
                 group.commit_ts,
@@ -167,6 +171,7 @@ class ReplicationPipeline:
                 group.source_dc,
                 group.decided_at,
                 group.deps,
+                dedup=True,
             )
             server.metrics.updates_applied_remote += len(group.writes)
         self.advance_peer_clock(src, msg.watermark)
@@ -175,11 +180,72 @@ class ReplicationPipeline:
         """Advance a peer's version-vector entry during idle periods."""
         self.advance_peer_clock(src, msg.ts)
 
+    def handle_retire(self, src: str, msg: RetireMsg, reply: Callable) -> None:
+        """Drop a departed replica's VV entry (membership change).
+
+        The message is FIFO-last behind the leaver's final replication
+        flush, so everything the leaver ever shipped is already applied
+        here.  Guard against a stale retirement overtaken by a rejoin: if
+        the membership says the DC is a replica again, the entry belongs to
+        the *new* incarnation and must stay.
+        """
+        server = self.server
+        if server.membership.is_replicated_at(server.partition, msg.dc_id):
+            return
+        if server.vv.pop(msg.dc_id, None) is not None:
+            # min(VV) can only grow when a frozen entry leaves the min.
+            server.reads.on_stable_advance()
+
+    def ensure_peer_entry(self, peer_dc: int, value: int) -> None:
+        """Seed a joining peer's VV entry eagerly (membership change).
+
+        Called by the reconfiguration manager at the join event so that
+        ``min(VV)`` is gated on the joiner immediately — waiting for its
+        first heartbeat would open a window in which this replica's clock
+        could outrun the joiner's applied state.  Creating the entry can
+        only lower ``min(VV)``, so no stable-advance is signalled; an
+        existing entry is never regressed.
+        """
+        server = self.server
+        current = server.vv.get(peer_dc)
+        if current is None:
+            server.vv[peer_dc] = value
+        elif value > current:
+            server.vv[peer_dc] = value
+            server.reads.on_stable_advance()
+
+    def announce_retirement(self) -> None:
+        """Flush, then tell every remaining peer to drop this replica's entry.
+
+        Run after the membership drops this replica: one last Delta_R tick
+        ships everything still queued, then the :class:`RetireMsg` rides the
+        same FIFO channels, so receivers handle it only after everything
+        this replica ever shipped has been applied.
+        """
+        server = self.server
+        self.tick()
+        message = RetireMsg(dc_id=server.dc_id)
+        for peer_dc in server.replica_dcs:
+            if peer_dc != server.dc_id:
+                server.cast(server_address(peer_dc, server.partition), message)
+
     def advance_peer_clock(self, src: str, value: int) -> None:
-        """Adopt a peer's advertised watermark into its VV entry."""
+        """Adopt a peer's advertised watermark into its VV entry.
+
+        The entry is created lazily when absent — a replica that joined
+        after this server was built announces itself with its first batch
+        or heartbeat — but only for DCs the membership currently lists, so
+        late traffic from a retired replica cannot resurrect its entry.
+        """
         server = self.server
         peer_dc = server.network.dc_of(src)
-        index = server.replica_dcs.index(peer_dc)
-        if value > server.vv[index]:
-            server.vv[index] = value
+        current = server.vv.get(peer_dc)
+        if current is None:
+            if not server.membership.is_replicated_at(server.partition, peer_dc):
+                return
+            server.vv[peer_dc] = value
+            server.reads.on_stable_advance()
+            return
+        if value > current:
+            server.vv[peer_dc] = value
             server.reads.on_stable_advance()

@@ -34,27 +34,39 @@ class StabilizationService:
         "is_root",
         "dc_reports",
         "remote_root_addrs",
+        "_ust_cancel",
     )
 
     def __init__(self, server: "ProtocolServer") -> None:
         self.server = server
-        spec = server.spec
+        self.child_reports: Dict[int, AggUpMsg] = {}
+        #: Latest GST/oldest pair per DC (root only; own entry included).
+        self.dc_reports: Dict[int, Tuple[int, int]] = {}
+        self._ust_cancel: Optional[Callable[[], None]] = None
+        self._wire()
+
+    def _wire(self) -> None:
+        """(Re)derive the tree position and gossip targets from membership.
+
+        Called at construction and again on every membership rebuild; with
+        an untouched membership it reproduces the static spec wiring
+        exactly.
+        """
+        server = self.server
+        membership = server.membership
         fanout = server.config.protocol.tree_fanout
-        self.tree = spec.dc_tree(server.dc_id, fanout)
+        self.tree = membership.dc_tree(server.dc_id, fanout)
         parent = self.tree.parent(server.partition)
         self.parent_addr = (
             server_address(server.dc_id, parent) if parent is not None else None
         )
         self.child_partitions = list(self.tree.children(server.partition))
         self.child_addrs = [server_address(server.dc_id, c) for c in self.child_partitions]
-        self.child_reports: Dict[int, AggUpMsg] = {}
         self.is_root = self.tree.root == server.partition
-        #: Latest GST/oldest pair per DC (root only; own entry included).
-        self.dc_reports: Dict[int, Tuple[int, int]] = {}
         self.remote_root_addrs = [
-            server_address(dc, spec.dc_tree(dc, fanout).root)
-            for dc in range(spec.n_dcs)
-            if dc != server.dc_id
+            server_address(dc, membership.dc_tree(dc, fanout).root)
+            for dc in sorted(membership.active_dcs)
+            if dc != server.dc_id and membership.dc_partitions(dc)
         ]
 
     def dispatch(self) -> Dict[type, Callable]:
@@ -89,7 +101,7 @@ class StabilizationService:
     def aggregate_subtree(self) -> Tuple[int, int]:
         """min(VV) and oldest-active over this node's subtree."""
         server = self.server
-        stable_min = min(server.vv)
+        stable_min = min(server.vv.values())
         oldest = server.coordinator.oldest_active_snapshot()
         for child in self.child_partitions:
             report = self.child_reports.get(child)
@@ -108,7 +120,13 @@ class StabilizationService:
         self.child_reports[msg.partition] = msg
 
     def handle_dc_gst(self, src: str, msg: DcGstMsg, reply: Callable) -> None:
-        """Root gossip: record another DC's GST / oldest-active pair."""
+        """Root gossip: record another DC's GST / oldest-active pair.
+
+        Gossip from a DC the membership has retired is dropped: re-adding
+        its entry would gate the UST on a DC that will never report again.
+        """
+        if not self.server.membership.is_active_dc(msg.dc_id):
+            return
         previous = self.dc_reports.get(msg.dc_id)
         gst = msg.gst if previous is None else max(previous[0], msg.gst)
         self.dc_reports[msg.dc_id] = (gst, msg.oldest_active)
@@ -119,8 +137,8 @@ class StabilizationService:
     def ust_tick(self) -> None:
         """Compute the UST from every DC's report and push it down the tree."""
         server = self.server
-        if len(self.dc_reports) < server.spec.n_dcs:
-            return  # not all DCs have reported yet; UST stays at its floor
+        if len(self.dc_reports) < server.membership.n_active_dcs:
+            return  # not all active DCs have reported yet; UST stays at its floor
         ust = min(gst for gst, _ in self.dc_reports.values())
         oldest = min(oldest for _, oldest in self.dc_reports.values())
         self.adopt_ust(ust, oldest)
@@ -165,13 +183,52 @@ class StabilizationService:
             )
         )
         if self.is_root:
-            cancels.append(
-                server.sim.every(
-                    protocol.ust_interval,
-                    self.ust_tick,
-                    phase=server.timer_rng.uniform(0, protocol.ust_interval),
-                )
-            )
+            self._arm_ust_timer()
+        cancels.append(self._disarm_ust_timer)
+
+    def _arm_ust_timer(self) -> None:
+        """Arm the root-only Delta_U timer (idempotent)."""
+        if self._ust_cancel is not None:
+            return
+        server = self.server
+        protocol = server.config.protocol
+        self._ust_cancel = server.sim.every(
+            protocol.ust_interval,
+            self.ust_tick,
+            phase=server.timer_rng.uniform(0, protocol.ust_interval),
+        )
+
+    def _disarm_ust_timer(self) -> None:
+        """Cancel the root-only Delta_U timer (idempotent)."""
+        if self._ust_cancel is not None:
+            self._ust_cancel()
+            self._ust_cancel = None
+
+    def rebuild(self) -> None:
+        """Rewire the plane after a membership change (conservative).
+
+        The tree and gossip targets are re-derived from the membership;
+        child subtree reports are dropped so this node speaks for its new
+        subtree with the safe ``(0, 0)`` floor until fresh reports arrive
+        (stale reports from the old wiring could *overshoot* the new
+        subtree's state — a stall is safe, an overshoot is not).  DC-level
+        gossip entries are *kept* for DCs still active: they are frozen
+        lower bounds of applied state, so they can only stall the UST.
+        Entries of retired DCs are pruned so the UST stops waiting on them.
+        Roots may change: the Delta_U timer follows the root role.
+        """
+        server = self.server
+        membership = server.membership
+        if not membership.is_replicated_at(server.partition, server.dc_id):
+            return  # this replica is leaving; the manager tears it down
+        self._wire()
+        self.child_reports.clear()
+        for dc in [dc for dc in self.dc_reports if not membership.is_active_dc(dc)]:
+            del self.dc_reports[dc]
+        if self.is_root and not server.paused:
+            self._arm_ust_timer()
+        elif not self.is_root:
+            self._disarm_ust_timer()
 
     def on_crash(self) -> None:
         """Drop volatile stabilization state (tree and gossip reports)."""

@@ -80,6 +80,39 @@ _RTT_MS: Dict[Tuple[str, str], float] = {
 }
 
 
+#: Committed geo-real deployment presets: named region layouts selectable
+#: from the CLI (``--preset``) and the sweep parameter space.  Each maps a
+#: preset name to the ordered tuple of regions hosting DC 0..n-1; RTTs come
+#: from the measured matrix above, so every preset is a *real* geography
+#: rather than a synthetic uniform delay.
+TOPOLOGY_PRESETS: Dict[str, Tuple[str, ...]] = {
+    "paper-3dc": ("virginia", "oregon", "ireland"),
+    "paper-5dc": ("virginia", "oregon", "ireland", "mumbai", "sydney"),
+    "na-triangle": ("virginia", "ohio", "canada"),
+    "eu-us": ("virginia", "ireland", "frankfurt"),
+    "transpacific": ("oregon", "seoul", "singapore", "sydney"),
+    "global-7": (
+        "virginia",
+        "oregon",
+        "ireland",
+        "frankfurt",
+        "mumbai",
+        "singapore",
+        "sydney",
+    ),
+}
+
+
+def preset_regions(name: str) -> Tuple[str, ...]:
+    """The region tuple of a named topology preset (KeyError if unknown)."""
+    try:
+        return TOPOLOGY_PRESETS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown topology preset {name!r}; available: {sorted(TOPOLOGY_PRESETS)}"
+        ) from exc
+
+
 def rtt_ms(region_a: str, region_b: str) -> float:
     """Round-trip time between two regions in milliseconds."""
     if region_a == region_b:

@@ -383,6 +383,16 @@ class Node:
         for envelope in backlog:
             self._receive(envelope)
 
+    def discard_backlog(self) -> None:
+        """Drop everything queued while paused.
+
+        A crashed node keeps its backlog (TCP peers retransmit); a node
+        *retired* by a membership change does not — the process is gone, so
+        traffic addressed to it between retirement and a later rejoin is
+        discarded rather than replayed into the new incarnation.
+        """
+        self._backlog.clear()
+
     # ------------------------------------------------------------------
     # Outbound
     # ------------------------------------------------------------------

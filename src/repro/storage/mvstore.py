@@ -53,6 +53,27 @@ class _Chain:
         keys.insert(index, key)
         self.versions.insert(index, version)
 
+    def insert_if_absent(self, version: Version) -> bool:
+        """Add ``version`` unless a version with its order key already exists.
+
+        The idempotent variant of :meth:`insert`, used by membership-change
+        snapshot migration: a rejoining replica may receive versions it
+        already holds (from its own durable state or the replication backlog
+        drained just before the snapshot lands).  Returns True if inserted.
+        """
+        key = version.order_key()
+        keys = self._keys()
+        if not keys or key > keys[-1]:
+            keys.append(key)
+            self.versions.append(version)
+            return True
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return False
+        keys.insert(index, key)
+        self.versions.insert(index, version)
+        return True
+
     def read(self, snapshot: int) -> Optional[Version]:
         """Freshest version with ``ut <= snapshot`` (None if none exists)."""
         # All versions with ut <= snapshot sort strictly below this sentinel.
@@ -101,12 +122,39 @@ class MultiVersionStore:
         tid: TransactionId,
         sr: int,
         deps: Any = None,
+        dedup: bool = False,
     ) -> Version:
-        """Install a new version (the UPDATE function of Algorithm 4)."""
+        """Install a new version (the UPDATE function of Algorithm 4).
+
+        With ``dedup`` a version already present is silently skipped.  Local
+        applies stay strict — a duplicate there is a protocol bug — but the
+        replication receive path passes ``dedup=True``: under a membership
+        change, delivery is at-least-once (a batch in flight to a rejoining
+        replica can overlap the join's snapshot transfer), and the store is
+        where the duplicates are squashed.
+        """
         version = Version(key=key, value=value, ut=ut, tid=tid, sr=sr, deps=deps)
-        self._chain(key).insert(version)
-        self.writes_applied += 1
+        if dedup:
+            if self._chain(key).insert_if_absent(version):
+                self.writes_applied += 1
+        else:
+            self._chain(key).insert(version)
+            self.writes_applied += 1
         return version
+
+    def ingest(self, key: str, version: Version) -> bool:
+        """Install a migrated version if it is not already present.
+
+        Snapshot transfer during membership change ships whole version
+        chains from donor replicas; deduplicating on the version order key
+        makes the transfer idempotent against versions the receiver already
+        applied (rejoin after a leave, or replication racing the snapshot).
+        Returns True if the version was new.
+        """
+        inserted = self._chain(key).insert_if_absent(version)
+        if inserted:
+            self.writes_applied += 1
+        return inserted
 
     def preload(self, key: str, value: Any) -> Version:
         """Install the timestamp-zero base version of ``key``."""

@@ -68,17 +68,31 @@ class SessionDriver:
         self.stats = stats
         self.arrival = arrival if arrival is not None else generator.profile.arrival
         self.transactions_run = 0
+        #: Set by :meth:`halt`; the loop exits between transactions.
+        self.halted = False
 
     def start(self) -> None:
         """Spawn the session loop on the simulation kernel."""
+        self.halted = False
         self.client.sim.spawn(self._loop(), name=f"session:{self.client.address}")
+
+    def halt(self) -> None:
+        """Stop the loop after the in-flight transaction completes.
+
+        Used when a membership change retires the session's DC; the loop
+        never interrupts a transaction mid-protocol, it just stops starting
+        new ones.  ``start()`` re-arms a halted driver (DC rejoin).
+        """
+        self.halted = True
 
     def _loop(self):
         sim = self.client.sim
-        while True:
+        while not self.halted:
             delay = self.arrival.delay(sim.now)
             if delay > 0.0:
                 yield sim.timeout(delay)
+                if self.halted:
+                    return
             spec = self.generator.next_transaction()
             started_at = sim.now
             yield self.client.start_tx()

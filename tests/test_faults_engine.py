@@ -258,6 +258,58 @@ class TestChaos:
             assert opened["partition"] == opened["heal"]
             assert opened["crash"] == opened["recover"]
 
+    def test_membership_episodes_appear_and_pair_across_seeds(self):
+        """The generator mixes joins and leaves into the episode pool, and
+        every membership episode closes: adds and removes come in pairs, and
+        the induced placement is legal at every step (validate_for)."""
+        spec = self._spec()
+        seeds_with_membership = 0
+        for seed in range(30):
+            plan = random_plan(spec, seed=seed, horizon=4.0, episodes=8)
+            plan.validate_for(spec)
+            adds = sum(1 for e in plan if e.action == "add_replica")
+            removes = sum(1 for e in plan if e.action == "remove_replica")
+            assert adds == removes
+            if adds:
+                seeds_with_membership += 1
+        assert seeds_with_membership >= 5
+
+    def _membership_seed(self, spec) -> int:
+        for seed in range(50):
+            plan = random_plan(spec, seed=seed, horizon=2.0, episodes=6)
+            if any(e.action == "add_replica" for e in plan):
+                return seed
+        raise AssertionError("no seed in range produced a membership episode")
+
+    def test_membership_chaos_trace_deterministic(self, faulted_config):
+        """Same (seed, plan) -> byte-identical event trace, with membership
+        churn in the plan (ISSUE 8 satellite: generator determinism)."""
+        from repro.bench.harness import deploy_sessions
+        from repro.sim.trace import Tracer
+        from repro.workload.runner import SessionStats
+
+        spec = self._spec()
+        seed = self._membership_seed(spec)
+
+        def trace_once() -> list:
+            plan = random_plan(spec, seed=seed, horizon=2.0, episodes=6)
+            tracer = Tracer()
+            cluster = build_cluster(faulted_config(plan), protocol="paris")
+            for server in cluster.all_servers():
+                server.tracer = tracer
+            stats = SessionStats()
+            for driver in deploy_sessions(cluster, stats):
+                driver.start()
+            with tracer.capture("commit", "ust", "apply", "replicate"):
+                cluster.sim.run(until=2.5)
+            assert cluster.injector.events_applied == len(plan)
+            return tracer.records
+
+        first = trace_once()
+        second = trace_once()
+        assert len(first) > 100
+        assert first == second
+
     def test_chaos_run_applies_everything_and_ends_healthy(self, faulted_config):
         spec = self._spec()
         plan = random_plan(spec, seed=5, horizon=2.0, episodes=6)
@@ -266,4 +318,8 @@ class TestChaos:
         assert cluster.injector.events_applied == len(plan)
         assert not cluster.network._partitioned
         assert not cluster.network._degraded
-        assert all(not server.paused for server in cluster.all_servers())
+        # Every *member* replica ends up serving; replicas retired by a
+        # membership episode stay torn down, which is healthy too.
+        for (dc, partition), server in cluster.servers.items():
+            if cluster.membership.is_replicated_at(partition, dc):
+                assert not server.paused

@@ -79,6 +79,12 @@ class TestFaultEvent:
             ),
             "restore": FaultEvent(at=2.0, action="restore", dcs=(1, 2)),
             "skew": FaultEvent(at=1.0, action="skew", dc=1, partition=0, offset=-0.002),
+            "add_replica": FaultEvent(at=1.0, action="add_replica", dc=2, partition=0),
+            "remove_replica": FaultEvent(
+                at=2.0, action="remove_replica", dc=2, partition=0
+            ),
+            "add_dc": FaultEvent(at=1.0, action="add_dc", dc=1),
+            "remove_dc": FaultEvent(at=2.0, action="remove_dc", dc=1),
         }
         assert set(samples) == set(ACTIONS)
         for event in samples.values():
@@ -86,16 +92,25 @@ class TestFaultEvent:
 
 
 class TestFaultPlan:
-    def test_events_sorted_by_time_stably(self):
+    def test_out_of_order_events_rejected(self):
+        # Membership and crash/recover pairings are order-sensitive; a plan
+        # listed out of order is rejected, never silently re-sorted.
+        with pytest.raises(FaultPlanError, match="out of order"):
+            FaultPlan(
+                events=(
+                    FaultEvent(at=2.0, action="heal"),
+                    FaultEvent(at=1.0, action="partition", dcs=(0, 1)),
+                )
+            )
+
+    def test_equal_time_events_keep_plan_order(self):
         plan = FaultPlan(
             events=(
-                FaultEvent(at=2.0, action="heal"),
                 FaultEvent(at=1.0, action="partition", dcs=(0, 1)),
                 FaultEvent(at=1.0, action="partition", dcs=(1, 2)),
+                FaultEvent(at=2.0, action="heal"),
             )
         )
-        assert [e.at for e in plan] == [1.0, 1.0, 2.0]
-        # Same-time events keep their plan order.
         assert plan.events[0].dcs == (0, 1)
         assert plan.events[1].dcs == (1, 2)
 
@@ -121,10 +136,10 @@ class TestFaultPlan:
         plan = FaultPlan(
             events=(
                 FaultEvent(at=1.0, action="crash", dc=0, partition=0),
-                FaultEvent(at=2.0, action="recover", dc=0, partition=0),
                 FaultEvent(
                     at=1.5, action="degrade", dcs=(0, 1), extra_latency=0.01, loss=0.05
                 ),
+                FaultEvent(at=2.0, action="recover", dc=0, partition=0),
             ),
             name="roundtrip",
         )
@@ -159,6 +174,135 @@ class TestFaultPlan:
         assert FaultPlan.load(path) == plan
 
 
+class TestMembershipValidation:
+    """Contradictory membership event pairs are rejected with a fix hint.
+
+    ``validate_for`` simulates the membership the plan induces, so every
+    check below is against the placement *at the event's firing time*.
+    """
+
+    def spec(self):
+        return ClusterSpec.from_machines(n_dcs=3, machines_per_dc=2, replication_factor=2)
+
+    def hosted_and_missing(self, spec, dc=0):
+        hosted = spec.dc_partitions(dc)
+        missing = next(p for p in range(spec.n_partitions) if p not in hosted)
+        return hosted[0], missing
+
+    def test_remove_of_non_member_rejected(self):
+        spec = self.spec()
+        _home, missing = self.hosted_and_missing(spec)
+        plan = FaultPlan(
+            events=(FaultEvent(at=1.0, action="remove_replica", dc=0, partition=missing),)
+        )
+        with pytest.raises(FaultPlanError, match="hosts no replica"):
+            plan.validate_for(spec)
+
+    def test_double_remove_rejected_against_induced_membership(self):
+        spec = self.spec()
+        home, _missing = self.hosted_and_missing(spec)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="remove_replica", dc=0, partition=home),
+                FaultEvent(at=2.0, action="remove_replica", dc=0, partition=home),
+            )
+        )
+        with pytest.raises(FaultPlanError, match="hosts no replica"):
+            plan.validate_for(spec)
+
+    def test_add_of_existing_member_rejected(self):
+        spec = self.spec()
+        home, _missing = self.hosted_and_missing(spec)
+        plan = FaultPlan(
+            events=(FaultEvent(at=1.0, action="add_replica", dc=0, partition=home),)
+        )
+        with pytest.raises(FaultPlanError, match="already hosts a replica"):
+            plan.validate_for(spec)
+
+    def test_remove_of_crashed_replica_rejected(self):
+        spec = self.spec()
+        home, _missing = self.hosted_and_missing(spec)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="crash", dc=0, partition=home),
+                FaultEvent(at=2.0, action="remove_replica", dc=0, partition=home),
+            )
+        )
+        with pytest.raises(FaultPlanError, match="cannot drain"):
+            plan.validate_for(spec)
+
+    def test_remove_after_recovery_is_fine(self):
+        spec = self.spec()
+        home, _missing = self.hosted_and_missing(spec)
+        FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="crash", dc=0, partition=home),
+                FaultEvent(at=1.5, action="recover", dc=0, partition=home),
+                FaultEvent(at=2.0, action="remove_replica", dc=0, partition=home),
+            )
+        ).validate_for(spec)
+
+    def test_remove_dc_with_crashed_replica_rejected(self):
+        spec = self.spec()
+        home = spec.dc_partitions(0)[0]
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="crash", dc=0, partition=home),
+                FaultEvent(at=2.0, action="remove_dc", dc=0),
+            )
+        )
+        with pytest.raises(FaultPlanError, match="cannot drain"):
+            plan.validate_for(spec)
+
+    def test_add_dc_of_active_dc_rejected(self):
+        spec = self.spec()
+        plan = FaultPlan(events=(FaultEvent(at=1.0, action="add_dc", dc=0),))
+        with pytest.raises(FaultPlanError, match="already active"):
+            plan.validate_for(spec)
+
+    def test_remove_of_last_copy_rejected(self):
+        spec = self.spec()
+        dcs = spec.replica_dcs(0)
+        events = tuple(
+            FaultEvent(at=1.0 + 0.1 * i, action="remove_replica", dc=dc, partition=0)
+            for i, dc in enumerate(dcs)
+        )
+        with pytest.raises(FaultPlanError, match="last replica"):
+            FaultPlan(events=events).validate_for(spec)
+
+    def test_crash_of_replica_created_by_earlier_join_accepted(self):
+        spec = self.spec()
+        _home, missing = self.hosted_and_missing(spec)
+        FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="add_replica", dc=0, partition=missing),
+                FaultEvent(at=2.0, action="crash", dc=0, partition=missing),
+                FaultEvent(at=3.0, action="recover", dc=0, partition=missing),
+            )
+        ).validate_for(spec)
+
+    def test_crash_of_replica_retired_by_earlier_leave_rejected(self):
+        spec = self.spec()
+        home, _missing = self.hosted_and_missing(spec)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="remove_replica", dc=0, partition=home),
+                FaultEvent(at=2.0, action="crash", dc=0, partition=home),
+            )
+        )
+        with pytest.raises(FaultPlanError, match="hosts no replica"):
+            plan.validate_for(spec)
+
+    def test_remove_dc_then_add_dc_roundtrip_validates(self):
+        spec = self.spec()
+        FaultPlan(
+            events=(
+                FaultEvent(at=1.0, action="remove_dc", dc=2),
+                FaultEvent(at=2.0, action="add_dc", dc=2),
+            )
+        ).validate_for(spec)
+
+
 class TestCommittedPlans:
     def test_partition_stall_plan_is_valid(self):
         plan = FaultPlan.load(os.path.join(PLANS_DIR, "partition_stall.json"))
@@ -166,3 +310,12 @@ class TestCommittedPlans:
         plan.validate_for(spec)
         assert [e.action for e in plan] == ["partition", "heal"]
         assert plan.name == "partition-stall"
+
+    def test_reconfig_membership_plan_is_valid(self):
+        plan = FaultPlan.load(os.path.join(PLANS_DIR, "reconfig_membership.json"))
+        spec = ClusterSpec.from_machines(n_dcs=3, machines_per_dc=2, replication_factor=2)
+        plan.validate_for(spec)
+        actions = [e.action for e in plan]
+        assert actions.count("add_replica") >= 1
+        assert actions.count("remove_replica") >= 1
+        assert plan.name == "reconfig-membership"

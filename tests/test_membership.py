@@ -1,0 +1,189 @@
+"""Unit tests for the dynamic membership overlay (ISSUE 8 tentpole).
+
+:class:`~repro.cluster.membership.Membership` is the mutable placement
+view every routing decision consults; these tests pin its contract:
+
+* it starts as an exact copy of the spec (``matches_spec``, epoch 0);
+* joiners are *appended*, so incumbent replica indices never shift;
+* ``preferred_dc`` reproduces the spec's round-robin formula untouched
+  and always lands on a member after mutations;
+* every illegal mutation raises :class:`MembershipError` with a message
+  that names the fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.membership import Membership, MembershipError
+from repro.cluster.topology import ClusterSpec
+
+
+def make(n_dcs: int = 3, n_partitions: int = 3, rf: int = 2) -> Membership:
+    return Membership(
+        ClusterSpec(n_dcs=n_dcs, n_partitions=n_partitions, replication_factor=rf)
+    )
+
+
+class TestInitialState:
+    def test_starts_as_spec_copy(self):
+        membership = make()
+        spec = membership.spec
+        for partition in range(spec.n_partitions):
+            assert membership.replica_dcs(partition) == spec.replica_dcs(partition)
+        for dc in range(spec.n_dcs):
+            assert membership.dc_partitions(dc) == tuple(spec.dc_partitions(dc))
+        assert membership.active_dcs == frozenset(range(spec.n_dcs))
+        assert membership.n_active_dcs == spec.n_dcs
+        assert membership.epoch == 0
+        assert membership.matches_spec()
+
+    def test_preferred_dc_matches_spec_formula_untouched(self):
+        membership = make()
+        spec = membership.spec
+        for partition in range(spec.n_partitions):
+            for dc in range(spec.n_dcs):
+                assert membership.preferred_dc(partition, dc) == spec.preferred_dc(
+                    partition, dc
+                )
+
+    def test_dc_tree_covers_current_partitions(self):
+        membership = make()
+        for dc in range(membership.spec.n_dcs):
+            tree = membership.dc_tree(dc)
+            assert tuple(tree.members) == membership.dc_partitions(dc)
+
+
+class TestAddReplica:
+    def test_joiner_is_appended_last(self):
+        membership = make()
+        partition = next(
+            p for p in range(membership.spec.n_partitions)
+            if not membership.is_replicated_at(p, 0)
+        )
+        before = membership.replica_dcs(partition)
+        membership.add_replica(0, partition)
+        assert membership.replica_dcs(partition) == before + (0,)
+        assert membership.is_replicated_at(partition, 0)
+        assert membership.epoch == 1
+        assert not membership.matches_spec()
+
+    def test_preferred_dc_goes_local_after_join(self):
+        membership = make()
+        partition = next(
+            p for p in range(membership.spec.n_partitions)
+            if not membership.is_replicated_at(p, 0)
+        )
+        assert membership.preferred_dc(partition, 0) != 0
+        membership.add_replica(0, partition)
+        assert membership.preferred_dc(partition, 0) == 0
+
+    def test_duplicate_rejected(self):
+        membership = make()
+        dc = membership.replica_dcs(0)[0]
+        with pytest.raises(MembershipError, match="already hosts a replica"):
+            membership.add_replica(dc, 0)
+
+    def test_inactive_dc_rejected(self):
+        membership = make()
+        for partition in membership.dc_partitions(2):
+            membership.remove_replica(2, partition)
+        membership.deactivate_dc(2)
+        with pytest.raises(MembershipError, match="add_dc it first"):
+            membership.add_replica(2, 0)
+
+
+class TestRemoveReplica:
+    def test_remove_then_routing_lands_on_a_member(self):
+        membership = make()
+        partition = 0
+        leaver = membership.replica_dcs(partition)[0]
+        membership.remove_replica(leaver, partition)
+        assert not membership.is_replicated_at(partition, leaver)
+        for dc in range(membership.spec.n_dcs):
+            assert membership.is_replicated_at(
+                partition, membership.preferred_dc(partition, dc)
+            )
+
+    def test_non_member_rejected(self):
+        membership = make()
+        outsider = next(
+            dc for dc in range(membership.spec.n_dcs)
+            if not membership.is_replicated_at(0, dc)
+        )
+        with pytest.raises(MembershipError, match="hosts no replica"):
+            membership.remove_replica(outsider, 0)
+
+    def test_last_copy_rejected(self):
+        membership = make()
+        dcs = membership.replica_dcs(0)
+        for dc in dcs[:-1]:
+            membership.remove_replica(dc, 0)
+        with pytest.raises(MembershipError, match="cannot remove the last replica"):
+            membership.remove_replica(dcs[-1], 0)
+
+    def test_epoch_counts_every_mutation(self):
+        membership = make()
+        membership.remove_replica(membership.replica_dcs(0)[0], 0)
+        membership.add_replica(
+            next(
+                dc for dc in range(membership.spec.n_dcs)
+                if not membership.is_replicated_at(0, dc)
+            ),
+            0,
+        )
+        assert membership.epoch == 2
+
+
+class TestDcLifecycle:
+    def drain(self, membership: Membership, dc: int) -> None:
+        for partition in membership.dc_partitions(dc):
+            membership.remove_replica(dc, partition)
+
+    def test_deactivate_requires_empty_dc(self):
+        membership = make()
+        with pytest.raises(MembershipError, match="remove_replica them first"):
+            membership.deactivate_dc(2)
+
+    def test_deactivate_then_reactivate(self):
+        membership = make()
+        self.drain(membership, 2)
+        membership.deactivate_dc(2)
+        assert not membership.is_active_dc(2)
+        assert membership.n_active_dcs == 2
+        membership.activate_dc(2)
+        assert membership.is_active_dc(2)
+        assert membership.dc_partitions(2) == ()  # hosts nothing until rejoined
+
+    def test_activate_active_rejected(self):
+        membership = make()
+        with pytest.raises(MembershipError, match="is already active"):
+            membership.activate_dc(0)
+
+    def test_deactivate_inactive_rejected(self):
+        membership = make()
+        self.drain(membership, 2)
+        membership.deactivate_dc(2)
+        with pytest.raises(MembershipError, match="is not active"):
+            membership.deactivate_dc(2)
+
+    def test_sole_remaining_dc_cannot_be_deactivated(self):
+        # Move every replica off DC1, retire it, then try to retire DC0 too.
+        membership = make(n_dcs=2, n_partitions=2, rf=1)
+        for partition in membership.dc_partitions(1):
+            membership.add_replica(0, partition)
+            membership.remove_replica(1, partition)
+        membership.deactivate_dc(1)
+        with pytest.raises(MembershipError, match="cannot deactivate"):
+            membership.deactivate_dc(0)
+
+    def test_last_active_dc_guard_is_defense_in_depth(self):
+        # The hosting check fires first through the public API; pin the
+        # dedicated last-DC branch directly so it cannot rot.
+        membership = make()
+        membership._active_dcs = {0}
+        membership._replicas = {
+            partition: (1,) for partition in range(membership.spec.n_partitions)
+        }
+        with pytest.raises(MembershipError, match="last active DC"):
+            membership.deactivate_dc(0)

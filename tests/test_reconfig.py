@@ -1,0 +1,229 @@
+"""Membership change as a fault event, checker-verified across the transition.
+
+The ISSUE 8 headline: for every protocol that claims TCC, a run containing
+at least one replica *join* and one replica *leave* passes both consistency
+checkers — the in-memory :class:`ConsistencyChecker` and the streaming
+one-pass checker (unbounded *and* with a retirement window that straddles
+the reconfiguration point) — with zero violations.  A negative test proves
+the verdicts are earned: deliberately skipping the join's catch-up
+fractures causality, and *both* checkers catch it.
+
+Edge cases from the issue ride along: a join during an active network
+partition, a leave of the stabilization tree's root, and a back-to-back
+leave/join of the same replica inside one drain window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster, small_test_config
+from repro.bench.harness import deploy_sessions
+from repro.config import ReconfigConfig
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.oracle import ConsistencyOracle
+from repro.consistency.streaming import StreamingChecker, check_trace, dump_trace, oracle_events
+from repro.faults import FaultEvent, FaultPlan
+from repro.protocols import get_protocol, protocol_names
+from repro.workload.runner import SessionStats
+
+TCC_PROTOCOLS = sorted(
+    name for name in protocol_names() if get_protocol(name).consistency == "tcc"
+)
+
+#: Sim seconds past the last event before the run is summarised (covers the
+#: drain window plus replication of everything in flight).
+SETTLE = 0.5
+
+
+def base_config(**overrides):
+    return small_test_config(n_dcs=3, machines_per_dc=2, keys_per_partition=20).with_(
+        **overrides
+    )
+
+
+def join_leave_plan(spec) -> FaultPlan:
+    """One leave, one guest join, a rejoin, and the guest's leave — all
+    inside the measurement window of ``small_test_config`` (ends at 1.5)."""
+    home = spec.dc_partitions(0)[0]  # DC0 hosts this per the spec
+    guest = next(p for p in range(spec.n_partitions) if p not in spec.dc_partitions(0))
+    return FaultPlan(
+        name="join-leave",
+        events=(
+            FaultEvent(at=0.7, action="remove_replica", dc=0, partition=home),
+            FaultEvent(at=0.8, action="add_replica", dc=0, partition=guest),
+            FaultEvent(at=1.1, action="add_replica", dc=0, partition=home),
+            FaultEvent(at=1.25, action="remove_replica", dc=0, partition=guest),
+        ),
+    )
+
+
+def run_plan(protocol: str, plan: FaultPlan, **config_overrides):
+    """A seeded live run under ``plan``, recorded through the oracle."""
+    config = base_config(faults=plan, **config_overrides)
+    oracle = ConsistencyOracle()
+    cluster = build_cluster(config, protocol=protocol, oracle=oracle)
+    stats = SessionStats()
+    for driver in deploy_sessions(cluster, stats):
+        driver.start()
+    cluster.sim.run(until=plan.horizon + SETTLE)
+    return oracle, cluster
+
+
+def applied_actions(cluster):
+    return [event.action for _at, event in cluster.injector.log]
+
+
+class TestJoinAndLeaveStayConsistent:
+    """The tentpole acceptance: both checkers, every tcc protocol."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cache = {}
+        spec = base_config().cluster
+        plan = join_leave_plan(spec)
+        for protocol in TCC_PROTOCOLS:
+            cache[protocol] = run_plan(protocol, plan)
+        return cache
+
+    def test_registry_claims_the_expected_tcc_set(self):
+        assert TCC_PROTOCOLS == ["bpr", "cure", "gst_local", "occult", "paris"]
+
+    @pytest.mark.parametrize("protocol", TCC_PROTOCOLS)
+    def test_plan_ran_at_least_one_join_and_one_leave(self, runs, protocol):
+        actions = applied_actions(runs[protocol][1])
+        assert actions.count("add_replica") >= 1
+        assert actions.count("remove_replica") >= 1
+        assert runs[protocol][1].membership.epoch >= 4
+
+    @pytest.mark.parametrize("protocol", TCC_PROTOCOLS)
+    def test_run_is_big_enough_to_mean_something(self, runs, protocol):
+        oracle = runs[protocol][0]
+        assert len(oracle.commits) > 50
+        assert len(oracle.reads) > 50
+
+    @pytest.mark.parametrize("protocol", TCC_PROTOCOLS)
+    def test_in_memory_checker_clean(self, runs, protocol):
+        oracle = runs[protocol][0]
+        assert ConsistencyChecker(oracle).check_level("tcc") == []
+
+    @pytest.mark.parametrize("protocol", TCC_PROTOCOLS)
+    def test_streaming_checker_clean_unbounded(self, runs, protocol):
+        checker = StreamingChecker(window=None, level="tcc")
+        checker.run(oracle_events(runs[protocol][0]))
+        assert checker.violations == []
+
+    @pytest.mark.parametrize("protocol", TCC_PROTOCOLS)
+    def test_streaming_checker_clean_with_window_straddling_reconfig(
+        self, runs, protocol
+    ):
+        """A finite retirement window spanning the membership events must not
+        invent violations: versions the joiner inherited predate the window,
+        and retirement has to stay sound across the epoch change."""
+        checker = StreamingChecker(window=0.3, level="tcc")
+        checker.run(oracle_events(runs[protocol][0]))
+        assert checker.violations == []
+
+    def test_trace_file_round_trip_clean(self, runs, tmp_path):
+        oracle = runs["paris"][0]
+        path = tmp_path / "reconfig-trace.jsonl"
+        count = dump_trace(oracle, path)
+        assert count == len(oracle.commits) + len(oracle.reads)
+        assert check_trace(path, window=None, level="tcc").violations == []
+
+
+class TestSkipCatchupIsCaught:
+    """Mutation test: break the migration, and both checkers must say so."""
+
+    @pytest.fixture(scope="class")
+    def fractured(self):
+        spec = base_config().cluster
+        plan = join_leave_plan(spec)
+        return run_plan(
+            "paris", plan, reconfig=ReconfigConfig(skip_catchup=True)
+        )
+
+    def test_in_memory_checker_catches_the_fracture(self, fractured):
+        oracle, _cluster = fractured
+        assert ConsistencyChecker(oracle).check_level("tcc") != []
+
+    def test_streaming_checker_catches_the_fracture(self, fractured, tmp_path):
+        oracle, _cluster = fractured
+        path = tmp_path / "fractured-trace.jsonl"
+        dump_trace(oracle, path)
+        assert check_trace(path, window=None, level="tcc").violations != []
+
+    def test_windowed_streaming_checker_catches_it_too(self, fractured):
+        """The stale reads land right at the join, so a window straddling the
+        reconfiguration point must still surface them."""
+        checker = StreamingChecker(window=0.3, level="tcc")
+        checker.run(oracle_events(fractured[0]))
+        assert checker.violations != []
+
+    def test_same_plan_without_the_mutation_is_clean(self):
+        spec = base_config().cluster
+        oracle, _cluster = run_plan("paris", join_leave_plan(spec))
+        assert ConsistencyChecker(oracle).check_level("tcc") == []
+
+
+class TestReconfigEdgeCases:
+    def test_join_during_active_partition(self):
+        """A replica joins while an inter-DC link is severed; the checker
+        stays clean and the join completes against a reachable donor."""
+        spec = base_config().cluster
+        guest = next(
+            p for p in range(spec.n_partitions) if p not in spec.dc_partitions(0)
+        )
+        plan = FaultPlan(
+            name="join-under-partition",
+            events=(
+                FaultEvent(at=0.6, action="partition", dcs=(0, 2)),
+                FaultEvent(at=0.8, action="add_replica", dc=0, partition=guest),
+                FaultEvent(at=1.1, action="heal", dcs=(0, 2)),
+            ),
+        )
+        oracle, cluster = run_plan("paris", plan)
+        assert applied_actions(cluster) == ["partition", "add_replica", "heal"]
+        assert cluster.membership.is_replicated_at(guest, 0)
+        assert ConsistencyChecker(oracle).check_level("tcc") == []
+
+    def test_leave_of_the_stabilization_tree_root(self):
+        """Retiring the root of a DC's aggregation tree forces a rebuild;
+        the UST must keep advancing afterwards (stall ok, overshoot never)."""
+        spec = base_config().cluster
+        root = spec.dc_partitions(1)[0]  # members are ascending; root first
+        plan = FaultPlan(
+            name="root-leave",
+            events=(FaultEvent(at=0.7, action="remove_replica", dc=1, partition=root),),
+        )
+        oracle, cluster = run_plan("paris", plan)
+        assert ConsistencyChecker(oracle).check_level("tcc") == []
+        survivors = [
+            server
+            for (dc, partition), server in cluster.servers.items()
+            if cluster.membership.is_replicated_at(partition, dc)
+        ]
+        # Committed work exists from after the event, and the survivors'
+        # stabilization plane kept moving past it.
+        assert any(commit.at > 0.7 for commit in oracle.commits)
+        assert all(server.local_stable_time > 0 for server in survivors)
+
+    def test_back_to_back_leave_join_within_drain_window(self):
+        """Re-adding a replica before its drain-window teardown fires keeps
+        the old incarnation alive: no teardown, no retired set entry, and a
+        clean history."""
+        spec = base_config().cluster
+        home = spec.dc_partitions(0)[0]
+        plan = FaultPlan(
+            name="flap",
+            events=(
+                FaultEvent(at=0.7, action="remove_replica", dc=0, partition=home),
+                FaultEvent(at=0.8, action="add_replica", dc=0, partition=home),
+            ),
+        )
+        oracle, cluster = run_plan("paris", plan)
+        server = cluster.servers[(0, home)]
+        assert not server.paused
+        assert (0, home) not in cluster.injector.reconfig._retired
+        assert cluster.membership.is_replicated_at(home, 0)
+        assert ConsistencyChecker(oracle).check_level("tcc") == []

@@ -1,0 +1,62 @@
+"""Slow smoke for the ``reconfig_soak`` chaos scenario (ISSUE 8 tentpole).
+
+Membership churn (leave/rejoin, a guest join, a whole-DC bounce) layered
+over the ``hotspot_shift`` workload, checked at each protocol's claimed
+consistency level.  Too slow for tier-1, so it is opt-in: marked ``slow``
+and skipped unless ``REPRO_RUN_SLOW=1`` (CI's chaos job sets it).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import BenchScale, reconfig_soak
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        os.getenv("REPRO_RUN_SLOW") != "1",
+        reason="slow soak scenario; set REPRO_RUN_SLOW=1 to run",
+    ),
+]
+
+SOAK_SCALE = BenchScale(
+    name="soak-smoke",
+    n_dcs=3,
+    machines_per_dc=2,
+    replication_factor=2,
+    thread_ladder=(1,),
+    saturating_threads=8,
+    warmup=0.5,
+    duration=1.5,
+    keys_per_partition=30,
+    fig2a_machines=(2,),
+    fig2a_dcs=(3,),
+    fig2b_dcs=(3,),
+    fig2b_machines=(2,),
+)
+
+
+@pytest.fixture(scope="module")
+def soak_rows():
+    return {row.protocol: row for row in reconfig_soak(SOAK_SCALE)}
+
+
+class TestReconfigSoak:
+    def test_churn_actually_happened(self, soak_rows):
+        for row in soak_rows.values():
+            assert row.joins >= 1
+            assert row.leaves >= 1
+            assert row.final_epoch > 0
+            assert row.plan_name == "reconfig-soak"
+
+    def test_load_survived_the_churn(self, soak_rows):
+        for row in soak_rows.values():
+            assert row.committed_total > 100
+            assert row.committed_during_churn > 0
+
+    def test_zero_violations_at_the_claimed_level(self, soak_rows):
+        for row in soak_rows.values():
+            assert row.violations == 0

@@ -183,7 +183,7 @@ class TestApplyLoop:
         for _ in range(100):
             run_for(cluster, 0.01)
             for server in cluster.all_servers():
-                own = server.vv[server.replica_index]
+                own = server.vv[server.dc_id]
                 for ct, _, _, _ in server._committed:
                     assert ct > own, "unapplied commit below the version clock"
 
@@ -221,9 +221,9 @@ class TestApplyLoop:
             def __init__(self, inner):
                 self._inner = inner
 
-            def apply(self, key, value, ut, tid, sr, deps=None):
+            def apply(self, key, value, ut, tid, sr, deps=None, dedup=False):
                 applied_order.append(ut)
-                return self._inner.apply(key, value, ut, tid, sr, deps)
+                return self._inner.apply(key, value, ut, tid, sr, deps, dedup=dedup)
 
             def __getattr__(self, name):
                 return getattr(self._inner, name)
