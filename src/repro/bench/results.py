@@ -16,6 +16,7 @@ byte-identical ``summary.json``.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import statistics
 from typing import Any, Dict, Iterable, List, Mapping, Optional
@@ -49,6 +50,19 @@ def summarize_values(values: List[float]) -> Dict[str, float]:
         "min": min(values),
         "max": max(values),
     }
+
+
+def result_digest(result: Mapping[str, Any]) -> str:
+    """The canonical SHA-256 fingerprint of one run's summary metrics.
+
+    Hashes the sorted-key compact JSON encoding of an
+    :class:`~repro.bench.harness.ExperimentResult` dict, so two runs have
+    equal digests exactly when every metric (and the visibility curve) is
+    byte-identical.  This is the digest the run repository stores and
+    ``repro replay`` re-asserts (docs/serving.md) — the same idea as the
+    protocol golden digests, generalised to arbitrary persisted runs.
+    """
+    return hashlib.sha256(canonical_json(result).encode("utf-8")).hexdigest()
 
 
 def group_params(params: Mapping[str, Any]) -> Dict[str, Any]:

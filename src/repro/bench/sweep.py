@@ -140,23 +140,43 @@ def resolve_fault_plan(
     )
 
 
+def resolve_params(
+    params: Mapping[str, Any], *, require_seed: bool = True
+) -> Dict[str, Any]:
+    """Fully resolve flat run parameters: defaults filled, policies applied.
+
+    This is the canonical form the content-addressing scheme hashes
+    (:func:`run_key`): unknown names are rejected, unset parameters take
+    :data:`PARAM_DEFAULTS`, and the ``partitions_per_tx=None`` placeholder
+    resolves to the CLI's ``min(4, machines)`` policy.  Both the sweep
+    expansion and the run repository (:mod:`repro.serve.repository`) resolve
+    through here, so a CLI run, a served run, and a sweep cache entry with
+    the same effective parameters share one identity.
+    """
+    unknown = set(params) - BASE_PARAMS - {"seed"}
+    if unknown:
+        raise SweepSpecError(f"unknown run parameter(s): {sorted(unknown)}")
+    if require_seed and "seed" not in params:
+        raise SweepSpecError("run parameters must include 'seed'")
+    merged = dict(PARAM_DEFAULTS)
+    merged.update(params)
+    if merged["partitions_per_tx"] is None:
+        merged["partitions_per_tx"] = min(4, merged["machines"])
+    return merged
+
+
 def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str]:
     """Build a simulation configuration from flat run parameters.
 
     This is the one translation point between the flat parameter namespace
-    (sweep specs, ``repro run`` flags) and :class:`SimulationConfig`; it
-    returns the configuration together with the protocol name.  Unset
-    parameters take :data:`PARAM_DEFAULTS`; ``seed`` is required.
+    (sweep specs, ``repro run`` flags, served launch requests) and
+    :class:`SimulationConfig`; it returns the configuration together with
+    the protocol name.  Unset parameters take :data:`PARAM_DEFAULTS`;
+    ``seed`` is required.
     """
     from .experiments import mix_workload  # local import to avoid cycle
 
-    unknown = set(params) - BASE_PARAMS - {"seed"}
-    if unknown:
-        raise SweepSpecError(f"unknown run parameter(s): {sorted(unknown)}")
-    if "seed" not in params:
-        raise SweepSpecError("run parameters must include 'seed'")
-    merged = dict(PARAM_DEFAULTS)
-    merged.update(params)
+    merged = resolve_params(params)
     protocol = merged["protocol"]
     if not protocol_is_registered(protocol):
         raise SweepSpecError(
@@ -167,15 +187,12 @@ def config_from_params(params: Mapping[str, Any]) -> Tuple[SimulationConfig, str
         machines_per_dc=merged["machines"],
         replication_factor=merged["rf"],
     )
-    partitions_per_tx = merged["partitions_per_tx"]
-    if partitions_per_tx is None:
-        partitions_per_tx = min(4, merged["machines"])
     workload = replace(
         mix_workload(merged["mix"]),
         locality=merged["locality"],
         keys_per_partition=merged["keys"],
         threads_per_client=merged["threads"],
-        partitions_per_tx=partitions_per_tx,
+        partitions_per_tx=merged["partitions_per_tx"],
     )
     profile_name = merged["workload"]
     if profile_name is not None:
@@ -452,11 +469,7 @@ def expand(spec: SweepSpec) -> List[RunSpec]:
         ]
     runs: List[RunSpec] = []
     for combo in combos:
-        params = dict(PARAM_DEFAULTS)
-        params.update(spec.base)
-        params.update(combo)
-        if params["partitions_per_tx"] is None:
-            params["partitions_per_tx"] = min(4, params["machines"])
+        params = resolve_params({**spec.base, **combo}, require_seed=False)
         if "seed" in spec.axes:
             seeds = [params["seed"]]
         else:
@@ -557,6 +570,7 @@ def execute_sweep(
     workers: int = 1,
     force: bool = False,
     progress: Optional[ProgressFn] = None,
+    repository: Optional[Any] = None,
 ) -> SweepReport:
     """Execute (or resume) a sweep and return its report.
 
@@ -564,6 +578,13 @@ def execute_sweep(
     (unless ``force``); the rest are executed across ``workers`` processes.
     The report's records are always in the sweep's deterministic run order,
     independent of worker count and completion order.
+
+    ``repository`` (a :class:`repro.serve.repository.RunRepository`) hooks
+    the cache writes: every completed record — cached or freshly executed —
+    is also ingested into the run repository under the *same* content
+    address as the sweep cache file, so sweep results become queryable and
+    replayable like any other persisted run (docs/serving.md).  Ingestion
+    is idempotent; re-running a cached sweep does not duplicate entries.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -606,6 +627,9 @@ def execute_sweep(
         if record is None:  # pragma: no cover - worker failures raise above
             raise RuntimeError(f"run {run.key} produced no cache record")
         report.records.append(record)
+    if repository is not None:
+        for record in report.records:
+            repository.ingest(record, source=f"sweep:{spec.name}")
     return report
 
 

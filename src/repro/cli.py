@@ -16,7 +16,16 @@ Commands
 ``chaos``     Generate (or load) a fault schedule, run a workload under it,
               and verify consistency survived.
 ``sweep``     Execute a declarative experiment grid (JSON spec) across worker
-              processes, with resumable content-addressed caching.
+              processes, with resumable content-addressed caching
+              (``--save`` also ingests every run into the run repository).
+``runs``      Query the run repository: persisted runs by protocol,
+              workload, preset, source, or time range (docs/serving.md).
+``replay``    Re-execute a persisted run from its stored config/seed and
+              assert digest equality against the stored summary (and trace,
+              when one was stored); exits non-zero on divergence.
+``serve``     Long-running HTTP front door: launch/inspect/list/replay runs
+              and submit sweeps over HTTP, executed on a bounded worker
+              pool and persisted to the run repository (docs/serving.md).
 ``profiles``  List the registered workload profiles (``--workload`` values
               and the ``workload`` sweep axis; see docs/workloads.md).
 ``protocols`` List the registered protocols (``--protocol`` values and the
@@ -61,6 +70,10 @@ FIGURES = (
 #: The committed sweep spec behind ``repro figure design_space``.
 DESIGN_SPACE_SPEC = pathlib.Path("examples/sweeps/design_space.json")
 
+#: Default run-repository root (``repro run --save``, ``runs``, ``replay``,
+#: ``serve``; layout in docs/serving.md).
+DEFAULT_REPO_DIR = "results"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
@@ -99,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also spill the consistency event stream to this JSONL file "
         "(re-checkable with 'repro check --trace-in'; only with --big)",
     )
+    run_cmd.add_argument(
+        "--save",
+        action="store_true",
+        help="persist the completed run into the run repository so it can "
+        "be queried ('repro runs') and replayed ('repro replay'); with "
+        "--big --trace-out the trace is stored too (docs/serving.md)",
+    )
+    _add_repo_arg(run_cmd)
 
     compare_cmd = commands.add_parser(
         "compare", help="run several protocols on one config, side by side"
@@ -184,6 +205,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_runs",
         help="print the expanded run list and exit without executing",
     )
+    sweep_cmd.add_argument(
+        "--save",
+        action="store_true",
+        help="also ingest every completed run into the run repository "
+        "(same content address as the cache entry; docs/serving.md)",
+    )
+    _add_repo_arg(sweep_cmd)
+
+    runs_cmd = commands.add_parser(
+        "runs", help="query the run repository (persisted runs)"
+    )
+    _add_repo_arg(runs_cmd)
+    runs_cmd.add_argument(
+        "--protocol", metavar="NAME", default=None,
+        help="only runs of this protocol",
+    )
+    runs_cmd.add_argument(
+        "--workload", metavar="PROFILE", default=None,
+        help="only runs of this workload profile",
+    )
+    runs_cmd.add_argument(
+        "--preset", metavar="NAME", default=None,
+        help="only runs pinned to this topology preset",
+    )
+    runs_cmd.add_argument(
+        "--source", metavar="SRC", default=None,
+        help="only runs from this source (cli, serve, sweep:<name>)",
+    )
+    runs_cmd.add_argument(
+        "--limit", type=int, default=20,
+        help="newest N entries (default: 20; 0 = all)",
+    )
+
+    replay_cmd = commands.add_parser(
+        "replay",
+        help="re-execute a persisted run and assert digest equality",
+    )
+    replay_cmd.add_argument(
+        "run_id",
+        metavar="RUN_ID",
+        help="full run id or a unique prefix (>= 8 hex chars; see 'repro runs')",
+    )
+    _add_repo_arg(replay_cmd)
+    replay_cmd.add_argument(
+        "--trace-out",
+        metavar="TRACE_JSONL",
+        default=None,
+        help="keep the replayed trace at this path (for diffing a divergence)",
+    )
+
+    serve_cmd = commands.add_parser(
+        "serve", help="HTTP API: launch/inspect/list/replay runs and sweeps"
+    )
+    _add_repo_arg(serve_cmd)
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8008,
+        help="TCP port (default: 8008; 0 picks a free port)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2,
+        help="max concurrently executing jobs (default: 2); extra "
+        "submissions queue FIFO so clients can't oversubscribe the machine",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=("auto", "stdlib", "fastapi"),
+        default="auto",
+        help="HTTP stack: stdlib (no dependencies), fastapi (needs "
+        "'pip install .[serve]'), auto picks fastapi when installed",
+    )
+    serve_cmd.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
 
     profiles_cmd = commands.add_parser(
         "profiles", help="list registered workload profiles"
@@ -244,6 +341,16 @@ def _add_protocol_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_repo_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--repo",
+        metavar="DIR",
+        default=DEFAULT_REPO_DIR,
+        help=f"run repository root (default: {DEFAULT_REPO_DIR}/; "
+        "layout in docs/serving.md)",
+    )
+
+
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults",
@@ -278,13 +385,23 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
-def config_from_args(args: argparse.Namespace) -> SimulationConfig:
-    """Translate CLI arguments into a simulation configuration.
+def params_from_args(
+    args: argparse.Namespace, *, inline_faults: bool = False
+) -> dict:
+    """The flat run-parameter mapping equivalent to the CLI flags.
 
-    Delegates to :func:`repro.bench.sweep.config_from_params` so the CLI and
-    sweep specs share one flat-parameter-to-config translation.
+    With ``inline_faults`` a ``--faults`` plan file is loaded and inlined as
+    a mapping, making the parameters self-contained — the form the run
+    repository persists, so a saved record replays identically wherever the
+    original plan file ends up.
     """
+    protocol = getattr(args, "protocol", "paris")
+    if not isinstance(protocol, str):
+        # `compare` takes a protocol *list*; the shared config is
+        # protocol-agnostic and each run names its protocol explicitly.
+        protocol = "paris"
     params = {
+        "protocol": protocol,
         "dcs": args.dcs,
         "machines": args.machines,
         "rf": args.rf,
@@ -299,7 +416,18 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
         "faults": getattr(args, "faults", None) or None,
         "preset": getattr(args, "preset", None),
     }
-    config, _ = sweep.config_from_params(params)
+    if inline_faults and params["faults"] is not None:
+        params["faults"] = FaultPlan.load(params["faults"]).to_dict()
+    return params
+
+
+def config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    """Translate CLI arguments into a simulation configuration.
+
+    Delegates to :func:`repro.bench.sweep.config_from_params` so the CLI and
+    sweep specs share one flat-parameter-to-config translation.
+    """
+    config, _ = sweep.config_from_params(params_from_args(args))
     return config
 
 
@@ -344,6 +472,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(result.to_json())
         else:
             print(format_result(result))
+        if args.save:
+            _save_to_repository(args, result)
         return 0
 
     from .consistency.streaming import StreamingChecker, StreamingOracle
@@ -376,7 +506,37 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"trace: {sink.count} events -> {sink.path}")
     for violation in violations[:20]:
         print(f"  {violation}")
+    if args.save:
+        # The run completed either way; a violating run is still worth
+        # persisting (and replaying while debugging it).
+        _save_to_repository(
+            args, result, trace_path=args.trace_out if sink is not None else None
+        )
     return 1 if violations else 0
+
+
+def _save_to_repository(
+    args: argparse.Namespace,
+    result: ExperimentResult,
+    *,
+    trace_path: Optional[str] = None,
+) -> None:
+    """Persist a just-completed ``repro run`` into the run repository."""
+    from .serve.repository import RunRepository
+
+    repository = RunRepository(args.repo)
+    record = repository.save_run(
+        params_from_args(args, inline_faults=True),
+        result.to_dict(),
+        source="cli",
+        trace_path=trace_path,
+    )
+    run_id = record["run_id"]
+    stored = "record + trace" if record["trace_digest"] else "record"
+    print(
+        f"saved {stored} {run_id[:12]} -> {repository.root} "
+        f"(replay: 'repro replay {run_id[:12]}')"
+    )
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -530,12 +690,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         """Print one run's cache/execution status as it is known."""
         print(f"  {status:<8} {run.key[:12]}  {run.label()}", flush=True)
 
+    repository = None
+    if args.save:
+        from .serve.repository import RunRepository
+
+        repository = RunRepository(args.repo)
+
     report_ = sweep.execute_sweep(
         spec,
         args.results_dir,
         workers=args.workers,
         force=args.force,
         progress=progress,
+        repository=repository,
     )
     summary = results.aggregate(report_.records, spec=spec)
     out = (
@@ -551,8 +718,124 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"({args.workers} worker{'s' if args.workers != 1 else ''}, {elapsed:.1f}s)"
     )
     print(f"summary ({len(summary['groups'])} groups): {out}")
+    if repository is not None:
+        print(
+            f"run repository: {len(repository)} runs in {repository.root} "
+            "(query with 'repro runs', replay with 'repro replay')"
+        )
     print()
     print(results.render_summary_table(summary))
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """``repro runs``: list/query the run repository (docs/serving.md)."""
+    from .serve.repository import RunRepository
+
+    repository = RunRepository(args.repo)
+    entries = repository.list(
+        protocol=args.protocol,
+        workload=args.workload,
+        preset=args.preset,
+        source=args.source,
+        limit=args.limit if args.limit > 0 else None,
+    )
+    if not entries:
+        if len(repository) == 0:
+            print(
+                f"no persisted runs in {repository.root} "
+                "(save one with 'repro run --save' or 'repro sweep --save')"
+            )
+        else:
+            print(
+                f"no runs in {repository.root} match "
+                f"(repository holds {len(repository)}; loosen the filters)"
+            )
+        return 0
+    rows = [
+        (
+            entry["run_id"][:12],
+            entry["protocol"],
+            entry["workload"] or "-",
+            entry["preset"] or "-",
+            str(entry["seed"]),
+            f"{entry['throughput']:,.0f}" if entry["throughput"] is not None else "-",
+            "yes" if entry["has_trace"] else "-",
+            entry["source"],
+            entry["created_at"],
+        )
+        for entry in entries
+    ]
+    print(
+        report.format_table(
+            [
+                "run",
+                "protocol",
+                "workload",
+                "preset",
+                "seed",
+                "tx/s",
+                "trace",
+                "source",
+                "created (UTC)",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(entries)} shown of {len(repository)} persisted "
+        f"({repository.root}); 'repro replay RUN' re-executes one and "
+        "asserts digest equality"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: re-execute a persisted run, assert digest equality.
+
+    Exit status: 0 when every stored digest reproduced, 1 when the
+    re-execution diverged (the output names both digests), 2 when the
+    record could not even be loaded intact (unknown id, corrupt entry,
+    missing trace file).
+    """
+    from .serve.replay import replay_run
+    from .serve.repository import RepositoryError, RunRepository
+
+    repository = RunRepository(args.repo)
+    try:
+        replay_report = replay_run(
+            repository,
+            args.run_id,
+            trace_out=pathlib.Path(args.trace_out) if args.trace_out else None,
+        )
+    except RepositoryError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    for line in replay_report.lines():
+        print(line)
+    return 0 if replay_report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP front door (runs until interrupted)."""
+    from .config import ServeConfig
+    from .serve.app import serve_forever
+    from .serve.service import ServeService
+
+    service = ServeService(
+        ServeConfig(
+            results_dir=args.repo,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+        )
+    )
+    try:
+        serve_forever(service, backend=args.backend, quiet=args.quiet)
+    except RuntimeError as exc:
+        # The fastapi backend without the [serve] extra installed.
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -710,11 +993,38 @@ _COMMANDS = {
     "check": cmd_check,
     "chaos": cmd_chaos,
     "sweep": cmd_sweep,
+    "runs": cmd_runs,
+    "replay": cmd_replay,
+    "serve": cmd_serve,
     "profiles": cmd_profiles,
     "protocols": cmd_protocols,
     "topology": cmd_topology,
     "figure": cmd_figure,
 }
+
+#: Width the committed ``repro --help`` text is rendered at (README's
+#: command reference); pinned so the text is identical on any terminal.
+HELP_WIDTH = 80
+
+
+def render_help() -> str:
+    """``repro --help`` rendered at :data:`HELP_WIDTH` columns.
+
+    The README embeds this text between drift markers and a tier-1 test
+    regenerates and diffs it, so the committed command reference can never
+    silently fall behind the parser.
+    """
+    import os
+
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = str(HELP_WIDTH)
+    try:
+        return build_parser().format_help()
+    finally:
+        if previous is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

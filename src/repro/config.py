@@ -122,6 +122,37 @@ class ReconfigConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """The ``repro serve`` front door (see docs/serving.md).
+
+    Bounds the HTTP serving layer: where the run repository lives, where the
+    socket binds, and — the important knob — how many simulations may execute
+    concurrently.  Each accepted job occupies one slot of a bounded worker
+    pool, so any number of HTTP clients can submit work without
+    oversubscribing the machine; excess jobs queue in submission order.
+    """
+
+    #: Run-repository root the app persists into (docs/serving.md).
+    results_dir: str = "results"
+    #: Bind address.  Loopback by default: the app has no auth layer, so
+    #: exposing it beyond the machine is an explicit decision.
+    host: str = "127.0.0.1"
+    #: TCP port (0 picks a free ephemeral port, used by tests).
+    port: int = 8008
+    #: Concurrently executing jobs (runs/sweeps/replays).  Sweep jobs asking
+    #: for process parallelism are clamped to this bound too.
+    workers: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.results_dir:
+            raise ValueError("results_dir must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535]: {self.port}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """YCSB-style transactional workload (Section V-A)."""
 

@@ -1,0 +1,330 @@
+"""The run repository: persisted, content-addressed, replayable results.
+
+Every completed run the repository sees — launched over HTTP by ``repro
+serve``, saved by ``repro run --save``, or ingested from a sweep's cache by
+:func:`repro.bench.sweep.execute_sweep` — becomes one JSON record under
+``results/`` (layout in docs/serving.md):
+
+``runs/<run_id>.json``
+    The full record: the run's fully resolved flat parameters (fault plans
+    inlined, so the record is self-contained), the resolved seed, the
+    complete :class:`~repro.bench.harness.ExperimentResult` summary, and the
+    digests ``repro replay`` re-asserts.
+``traces/<run_id>.jsonl``
+    Optionally, the run's consistency-event trace (the JSONL format of
+    :mod:`repro.consistency.events`), byte-digested so replays can prove the
+    *whole observable history* reproduced, not just the summary.
+``index.json``
+    One small entry per run (protocol, workload, preset, creation time,
+    headline metrics) powering the query API and the ``GET /runs`` endpoint
+    without touching the per-run files.
+
+The run id is :func:`repro.bench.sweep.run_key` — the SHA-256 of the
+canonical resolved parameters, the *same* content-addressing scheme the
+sweep cache uses.  Identity therefore follows content: re-saving an
+identical run is a no-op, a sweep cache entry and a served run with the
+same parameters share one id, and editing a parameter (or the cache
+version) yields a new entry instead of silently shadowing an old one.
+Records are written atomically (:func:`repro.bench.runner.write_json`); the
+index is a derived view and can always be rebuilt by scanning ``runs/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..bench import runner
+from ..bench.results import result_digest
+from ..bench.sweep import resolve_params, run_key
+
+#: Bumped when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Shortest run-id prefix :meth:`RunRepository.resolve` accepts.
+MIN_PREFIX = 8
+
+
+class RepositoryError(Exception):
+    """Raised for unknown run ids, ambiguous prefixes, and corrupt entries."""
+
+
+def _utc_iso(unix: float) -> str:
+    """Render a unix timestamp as a compact UTC ISO-8601 string."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(unix))
+
+
+def _sha256_file(path: pathlib.Path, chunk: int = 1 << 20) -> str:
+    """The SHA-256 of a file's bytes, streamed."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while True:
+            block = handle.read(chunk)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class RunRepository:
+    """Content-addressed persistence and query surface for completed runs.
+
+    Thread-safe within one process (the serve worker pool saves
+    concurrently); cross-process writers are serialised only per file — the
+    atomic record writes can never corrupt each other, and a stale index is
+    repaired by :meth:`rebuild_index`.
+    """
+
+    def __init__(self, root: runner.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.runs_dir = self.root / "runs"
+        self.traces_dir = self.root / "traces"
+        self.index_path = self.root / "index.json"
+        self._lock = threading.Lock()
+        self._index: Dict[str, Dict[str, Any]] = self._load_index()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save_run(
+        self,
+        params: Mapping[str, Any],
+        result: Mapping[str, Any],
+        *,
+        source: str = "cli",
+        trace_path: Optional[runner.PathLike] = None,
+    ) -> Dict[str, Any]:
+        """Persist one completed run; returns the stored record.
+
+        ``params`` are the flat run parameters (resolved through
+        :func:`repro.bench.sweep.resolve_params`, so partial parameter sets
+        are completed exactly like the CLI and sweep engine complete them);
+        ``result`` is the run's ``ExperimentResult.to_dict()``.  When
+        ``trace_path`` names the run's JSONL consistency trace, the file is
+        copied into the repository and its byte digest recorded.
+        """
+        resolved = resolve_params(params)
+        run_id = run_key(resolved)
+        record: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "run_id": run_id,
+            "params": resolved,
+            "protocol": resolved["protocol"],
+            "result": dict(result),
+            "summary_digest": result_digest(result),
+            "trace_digest": None,
+            "created_unix": round(time.time(), 3),
+            "source": source,
+        }
+        record["created_at"] = _utc_iso(record["created_unix"])
+        if trace_path is not None:
+            record["trace_digest"] = self._store_trace(run_id, trace_path)
+        runner.write_json(self.runs_dir / f"{run_id}.json", record)
+        with self._lock:
+            self._index[run_id] = self._index_entry(record)
+            self._write_index()
+        return record
+
+    def ingest(self, record: Mapping[str, Any], *, source: str) -> Optional[Dict[str, Any]]:
+        """Adopt one sweep cache record (``{key, params, result}``).
+
+        The sweep cache and the repository share the content-addressing
+        scheme, so the cache key *is* the run id.  Already-present ids are
+        left untouched (idempotent — resuming a sweep re-ingests nothing);
+        returns the stored record, or ``None`` when the id already existed.
+        """
+        run_id = record.get("key") or run_key(resolve_params(record["params"]))
+        with self._lock:
+            if run_id in self._index:
+                return None
+        return self.save_run(record["params"], record["result"], source=source)
+
+    def _store_trace(self, run_id: str, trace_path: runner.PathLike) -> str:
+        """Copy a trace file into the repository atomically; returns its digest."""
+        source = pathlib.Path(trace_path)
+        if not source.is_file():
+            raise RepositoryError(f"trace file not found: {source}")
+        target = self.traces_dir / f"{run_id}.jsonl"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(source.read_bytes())
+        os.replace(tmp, target)
+        return _sha256_file(target)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def resolve(self, run_id_or_prefix: str) -> str:
+        """Expand a (possibly abbreviated) run id to the full 64-hex id."""
+        prefix = run_id_or_prefix.strip().lower()
+        if len(prefix) < MIN_PREFIX:
+            raise RepositoryError(
+                f"run id prefix too short (need >= {MIN_PREFIX} hex chars): "
+                f"{run_id_or_prefix!r}"
+            )
+        with self._lock:
+            matches = sorted(rid for rid in self._index if rid.startswith(prefix))
+        if not matches:
+            # The index is a derived view; fall back to the ground truth.
+            matches = sorted(
+                path.stem
+                for path in self.runs_dir.glob(f"{prefix}*.json")
+            )
+        if not matches:
+            raise RepositoryError(f"no persisted run matches {run_id_or_prefix!r}")
+        if len(matches) > 1:
+            shown = ", ".join(m[:12] for m in matches[:5])
+            raise RepositoryError(
+                f"run id prefix {run_id_or_prefix!r} is ambiguous ({shown}, ...)"
+            )
+        return matches[0]
+
+    def get(self, run_id_or_prefix: str) -> Dict[str, Any]:
+        """Load one run's full record (verifying its stored integrity).
+
+        A record whose stored summary no longer matches its stored digest —
+        bit rot, a hand-edited file — raises :class:`RepositoryError` naming
+        both digests, the same contract ``repro replay`` exits non-zero on.
+        """
+        run_id = self.resolve(run_id_or_prefix)
+        path = self.runs_dir / f"{run_id}.json"
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise RepositoryError(f"cannot read run record {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise RepositoryError(f"corrupt run record {path}: {exc}") from exc
+        for field in ("run_id", "params", "result", "summary_digest"):
+            if field not in record:
+                raise RepositoryError(f"corrupt run record {path}: missing {field!r}")
+        stored = record["summary_digest"]
+        actual = result_digest(record["result"])
+        if stored != actual:
+            raise RepositoryError(
+                f"corrupt run record {run_id[:12]}: stored summary digest "
+                f"{stored[:12]} != digest of stored result {actual[:12]}"
+            )
+        return record
+
+    def trace_path(self, run_id: str) -> Optional[pathlib.Path]:
+        """Where the run's trace lives, or ``None`` when none was stored."""
+        path = self.traces_dir / f"{run_id}.jsonl"
+        return path if path.exists() else None
+
+    def __contains__(self, run_id: str) -> bool:
+        with self._lock:
+            return run_id in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def list(
+        self,
+        *,
+        protocol: Optional[str] = None,
+        workload: Optional[str] = None,
+        preset: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Query the index: newest first, every filter conjunctive.
+
+        ``since``/``until`` bound the creation time (unix seconds);
+        ``source`` matches exactly (``cli``, ``serve``) or, for sweep
+        ingests, the ``sweep:<name>`` form.
+        """
+        with self._lock:
+            entries = list(self._index.values())
+        if protocol is not None:
+            entries = [e for e in entries if e["protocol"] == protocol]
+        if workload is not None:
+            entries = [e for e in entries if e["workload"] == workload]
+        if preset is not None:
+            entries = [e for e in entries if e["preset"] == preset]
+        if source is not None:
+            entries = [e for e in entries if e["source"] == source]
+        if since is not None:
+            entries = [e for e in entries if e["created_unix"] >= since]
+        if until is not None:
+            entries = [e for e in entries if e["created_unix"] <= until]
+        entries.sort(key=lambda e: (-e["created_unix"], e["run_id"]))
+        if limit is not None:
+            entries = entries[: max(0, limit)]
+        return entries
+
+    # ------------------------------------------------------------------
+    # The index (a derived, rebuildable view)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_entry(record: Mapping[str, Any]) -> Dict[str, Any]:
+        """The compact per-run line the index (and ``GET /runs``) serves."""
+        params = record["params"]
+        result = record["result"]
+        return {
+            "run_id": record["run_id"],
+            "protocol": record.get("protocol", params.get("protocol")),
+            "workload": params.get("workload"),
+            "preset": params.get("preset"),
+            "seed": params.get("seed"),
+            "created_unix": record.get("created_unix", 0.0),
+            "created_at": record.get("created_at", ""),
+            "source": record.get("source", "unknown"),
+            "throughput": result.get("throughput"),
+            "latency_p99": result.get("latency_p99"),
+            "has_trace": record.get("trace_digest") is not None,
+            "summary_digest": record["summary_digest"],
+        }
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        """Read the committed index; an unreadable one is rebuilt lazily."""
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            if self.runs_dir.is_dir():
+                return self._scan()
+            return {}
+        entries = data.get("runs", {})
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_index(self) -> None:
+        """Persist the in-memory index atomically (caller holds the lock)."""
+        runner.write_json(
+            self.index_path, {"schema": SCHEMA_VERSION, "runs": self._index}
+        )
+
+    def _scan(self) -> Dict[str, Dict[str, Any]]:
+        """Derive index entries from the per-run records on disk."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self.runs_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue  # unreadable entries surface via get(), not listing
+            if isinstance(record, dict) and {"run_id", "params", "result"} <= set(record):
+                entries[record["run_id"]] = self._index_entry(record)
+        return entries
+
+    def rebuild_index(self) -> int:
+        """Rescan ``runs/`` and rewrite the index; returns the entry count.
+
+        The repair path for a stale or lost index (e.g. concurrent CLI and
+        serve writers racing the index file): records are the ground truth,
+        the index only accelerates queries.
+        """
+        entries = self._scan()
+        with self._lock:
+            self._index = entries
+            self._write_index()
+        return len(entries)

@@ -263,6 +263,60 @@ class TestSweepCommand:
             cli.main(["sweep", str(bad)])
 
 
+class TestRunRepositoryCommands:
+    """run --save, runs, and the sweep --save ingest path, CLI-level."""
+
+    def test_run_save_then_runs_lists_it(self, tmp_path, capsys):
+        repo = str(tmp_path / "results")
+        assert cli.main(["run", *FAST, "--save", "--repo", repo]) == 0
+        out = capsys.readouterr().out
+        assert "saved record" in out and "repro replay" in out
+        assert cli.main(["runs", "--repo", repo]) == 0
+        listing = capsys.readouterr().out
+        assert "paris" in listing
+        assert "1 shown of 1 persisted" in listing
+
+    def test_runs_empty_repository_message(self, tmp_path, capsys):
+        assert cli.main(["runs", "--repo", str(tmp_path / "results")]) == 0
+        assert "no persisted runs" in capsys.readouterr().out
+
+    def test_runs_filter_mismatch_message(self, tmp_path, capsys):
+        repo = str(tmp_path / "results")
+        assert cli.main(["run", *FAST, "--save", "--repo", repo]) == 0
+        capsys.readouterr()
+        assert cli.main(["runs", "--repo", repo, "--protocol", "bpr"]) == 0
+        assert "loosen the filters" in capsys.readouterr().out
+
+    def test_sweep_save_ingests_into_repository(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(TestSweepCommand.SPEC))
+        repo = str(tmp_path / "results")
+        assert cli.main([
+            "sweep", str(spec), "--results-dir", str(tmp_path / "sweeps"),
+            "--save", "--repo", repo,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run repository: 2 runs" in out
+        assert cli.main(["runs", "--repo", repo, "--source", "sweep:cli-sweep"]) == 0
+        assert "2 shown of 2 persisted" in capsys.readouterr().out
+
+    def test_faults_inlined_in_saved_params(self, tmp_path, capsys):
+        """A --faults run saves a self-contained record (plan inlined)."""
+        from repro.serve.repository import RunRepository
+
+        repo = str(tmp_path / "results")
+        assert cli.main([
+            "run", *FAST, "--faults", "examples/plans/partition_stall.json",
+            "--save", "--repo", repo,
+        ]) == 0
+        capsys.readouterr()
+        (entry,) = RunRepository(repo).list()
+        record = RunRepository(repo).get(entry["run_id"])
+        assert isinstance(record["params"]["faults"], dict)
+
+
 class TestBigRunTier:
     """The streaming big-run tier: run --big, check --trace-in/--trace-out."""
 

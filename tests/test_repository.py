@@ -1,0 +1,245 @@
+"""Tests for the run repository: persistence, identity, and querying."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.bench.sweep import (
+    SweepSpec,
+    config_from_params,
+    execute_sweep,
+    expand,
+    resolve_params,
+    run_key,
+)
+from repro.serve.repository import (
+    MIN_PREFIX,
+    RepositoryError,
+    RunRepository,
+)
+
+#: Tiny-but-real run parameters (same scale as tests/test_cli.py's FAST).
+FAST_PARAMS = {
+    "dcs": 3,
+    "machines": 2,
+    "threads": 1,
+    "keys": 20,
+    "warmup": 0.4,
+    "duration": 0.4,
+    "seed": 1,
+}
+
+
+def run_and_save(repository, overrides=None, *, source="cli"):
+    params = {**FAST_PARAMS, **(overrides or {})}
+    config, protocol = config_from_params(params)
+    result = run_experiment(config, protocol=protocol)
+    return repository.save_run(params, result.to_dict(), source=source)
+
+
+class TestSaveAndGet:
+    def test_round_trip(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        assert record["run_id"] in repo
+        assert len(repo) == 1
+        loaded = repo.get(record["run_id"])
+        assert loaded["params"] == record["params"]
+        assert loaded["result"] == record["result"]
+        assert loaded["summary_digest"] == record["summary_digest"]
+        assert loaded["trace_digest"] is None
+
+    def test_run_id_is_content_address(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        assert record["run_id"] == run_key(resolve_params(FAST_PARAMS))
+
+    def test_params_stored_fully_resolved(self, tmp_path):
+        """Partial parameter sets are completed like the CLI completes them."""
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        params = record["params"]
+        assert params["protocol"] == "paris"  # default filled
+        assert params["mix"] == "95:5"
+        # The min(4, machines) placeholder policy resolved at save time.
+        assert params["partitions_per_tx"] == 2
+
+    def test_resaving_identical_run_is_single_entry(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        first = run_and_save(repo)
+        second = run_and_save(repo)
+        assert first["run_id"] == second["run_id"]
+        assert len(repo) == 1
+
+    def test_different_seed_different_identity(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        a = run_and_save(repo)
+        b = run_and_save(repo, {"seed": 2})
+        assert a["run_id"] != b["run_id"]
+        assert len(repo) == 2
+
+    def test_trace_stored_and_digested(self, tmp_path):
+        from repro.consistency.streaming import StreamingOracle
+        from repro.sim.trace import TraceWriter
+
+        repo = RunRepository(tmp_path / "results")
+        config, protocol = config_from_params(FAST_PARAMS)
+        trace = tmp_path / "run.jsonl"
+        sink = TraceWriter(trace)
+        try:
+            result = run_experiment(
+                config, protocol=protocol, oracle=StreamingOracle(sink=sink)
+            )
+        finally:
+            sink.close()
+        record = repo.save_run(
+            FAST_PARAMS, result.to_dict(), trace_path=trace
+        )
+        stored = repo.trace_path(record["run_id"])
+        assert stored is not None
+        assert stored.read_bytes() == trace.read_bytes()
+        assert record["trace_digest"] is not None
+
+    def test_missing_trace_file_rejected_at_save(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        with pytest.raises(RepositoryError, match="trace file not found"):
+            repo.save_run(
+                FAST_PARAMS,
+                {"throughput": 1.0},
+                trace_path=tmp_path / "nope.jsonl",
+            )
+
+
+class TestResolvePrefix:
+    def test_short_prefix_rejected(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        run_and_save(repo)
+        with pytest.raises(RepositoryError, match=f">= {MIN_PREFIX}"):
+            repo.resolve("abc")
+
+    def test_unique_prefix_resolves(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        assert repo.resolve(record["run_id"][:12]) == record["run_id"]
+
+    def test_unknown_prefix_raises(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        run_and_save(repo)
+        with pytest.raises(RepositoryError, match="no persisted run"):
+            repo.resolve("0123456789abcdef")
+
+
+class TestCorruption:
+    def test_tampered_result_names_both_digests(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        path = repo.runs_dir / f"{record['run_id']}.json"
+        data = json.loads(path.read_text())
+        data["result"]["throughput"] = 999999.0
+        path.write_text(json.dumps(data))
+        with pytest.raises(RepositoryError, match="stored summary digest"):
+            repo.get(record["run_id"])
+
+    def test_unparseable_record_raises(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        path = repo.runs_dir / f"{record['run_id']}.json"
+        path.write_text("{not json")
+        with pytest.raises(RepositoryError, match="corrupt run record"):
+            repo.get(record["run_id"])
+
+
+class TestQuery:
+    def test_filters_are_conjunctive(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        run_and_save(repo, {"protocol": "paris"})
+        run_and_save(repo, {"protocol": "cure"})
+        run_and_save(repo, {"protocol": "cure", "seed": 2}, source="serve")
+        assert len(repo.list()) == 3
+        assert len(repo.list(protocol="cure")) == 2
+        assert len(repo.list(protocol="cure", source="serve")) == 1
+        assert repo.list(protocol="bpr") == []
+
+    def test_limit_and_order(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        for seed in (1, 2, 3):
+            run_and_save(repo, {"seed": seed})
+        entries = repo.list(limit=2)
+        assert len(entries) == 2
+        times = [e["created_unix"] for e in repo.list()]
+        assert times == sorted(times, reverse=True)
+
+    def test_index_entry_shape(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        run_and_save(repo, {"workload": "ycsb_a"})
+        (entry,) = repo.list()
+        assert entry["workload"] == "ycsb_a"
+        assert entry["throughput"] > 0
+        assert entry["has_trace"] is False
+        assert len(entry["summary_digest"]) == 64
+
+
+class TestIndexDurability:
+    def test_rebuild_index_from_records(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        run_and_save(repo)
+        run_and_save(repo, {"seed": 2})
+        repo.index_path.unlink()
+        fresh = RunRepository(tmp_path / "results")
+        assert len(fresh) == 2
+        assert fresh.rebuild_index() == 2
+        assert json.loads(fresh.index_path.read_text())["runs"]
+
+    def test_second_handle_sees_persisted_runs(self, tmp_path):
+        repo = RunRepository(tmp_path / "results")
+        record = run_and_save(repo)
+        again = RunRepository(tmp_path / "results")
+        assert record["run_id"] in again
+        assert again.get(record["run_id"])["summary_digest"] == record[
+            "summary_digest"
+        ]
+
+
+class TestSweepIngest:
+    SPEC = {
+        "name": "repo-ingest",
+        "seed": 42,
+        "repeats": 1,
+        "base": {
+            "dcs": 3,
+            "machines": 2,
+            "threads": 1,
+            "keys": 20,
+            "warmup": 0.2,
+            "duration": 0.3,
+        },
+        "axes": {"protocol": ["paris", "cure"]},
+    }
+
+    def test_sweep_runs_land_in_repository(self, tmp_path):
+        spec = SweepSpec.from_dict(self.SPEC)
+        repo = RunRepository(tmp_path / "results")
+        report = execute_sweep(spec, tmp_path / "sweeps", repository=repo)
+        assert len(repo) == report.total == 2
+        for entry in repo.list():
+            assert entry["source"] == "sweep:repo-ingest"
+
+    def test_cache_key_is_run_id(self, tmp_path):
+        """The sweep cache and the repository share one content address."""
+        spec = SweepSpec.from_dict(self.SPEC)
+        repo = RunRepository(tmp_path / "results")
+        execute_sweep(spec, tmp_path / "sweeps", repository=repo)
+        for run in expand(spec):
+            assert run.key in repo
+
+    def test_reingest_is_idempotent(self, tmp_path):
+        spec = SweepSpec.from_dict(self.SPEC)
+        repo = RunRepository(tmp_path / "results")
+        execute_sweep(spec, tmp_path / "sweeps", repository=repo)
+        first = {e["run_id"]: e["created_unix"] for e in repo.list()}
+        # Resume: all cached, nothing re-ingested, timestamps untouched.
+        execute_sweep(spec, tmp_path / "sweeps", repository=repo)
+        assert {e["run_id"]: e["created_unix"] for e in repo.list()} == first

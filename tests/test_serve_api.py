@@ -1,0 +1,355 @@
+"""Tests for the serve layer: service core, job pool, and real-HTTP loop."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ServeConfig
+from repro.serve.app import make_server, wsgi_app
+from repro.serve.service import ServeService
+
+#: Tiny-but-real launch parameters (same scale as tests/test_cli.py's FAST).
+FAST_PARAMS = {
+    "dcs": 3,
+    "machines": 2,
+    "threads": 1,
+    "keys": 20,
+    "warmup": 0.4,
+    "duration": 0.4,
+    "seed": 1,
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ServeService(ServeConfig(results_dir=str(tmp_path / "results")))
+    yield svc
+    svc.close()
+
+
+def wait_job(service, job_id, timeout=60.0):
+    """Poll one job to completion through the public endpoint."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = service.handle("GET", f"/jobs/{job_id}")
+        assert status == 200
+        job = payload["job"]
+        if job["status"] in ("done", "failed"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+class TestDispatch:
+    def test_index_lists_endpoints(self, service):
+        status, payload = service.handle("GET", "/")
+        assert status == 200
+        assert "GET /runs" in payload["endpoints"]
+        assert "POST /sweeps" in payload["endpoints"]
+
+    def test_health(self, service):
+        status, payload = service.handle("GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["runs"] == 0
+
+    def test_unknown_endpoint_404(self, service):
+        status, payload = service.handle("GET", "/nope")
+        assert status == 404
+
+    def test_method_not_allowed_405(self, service):
+        assert service.handle("POST", "/health")[0] == 405
+        assert service.handle("POST", "/jobs")[0] == 405
+
+
+class TestValidation:
+    def test_launch_without_body_400(self, service):
+        status, payload = service.handle("POST", "/runs")
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    def test_launch_with_bad_params_400_before_queuing(self, service):
+        status, payload = service.handle(
+            "POST", "/runs", body={"params": {"bogus": 1}}
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+        # Nothing was queued for the invalid request.
+        assert service.handle("GET", "/jobs")[1]["jobs"] == []
+
+    def test_launch_with_unknown_protocol_400(self, service):
+        status, payload = service.handle(
+            "POST", "/runs", body={"params": {**FAST_PARAMS, "protocol": "nope"}}
+        )
+        assert status == 400
+        assert "unknown protocol" in payload["error"]
+
+    def test_unknown_query_param_400(self, service):
+        status, payload = service.handle("GET", "/runs", query={"color": "red"})
+        assert status == 400
+        assert "color" in payload["error"]
+
+    def test_non_numeric_since_400(self, service):
+        assert service.handle("GET", "/runs", query={"since": "soon"})[0] == 400
+
+    def test_replay_of_unknown_run_404_at_submission(self, service):
+        status, payload = service.handle("POST", "/runs/0123456789abcdef/replay")
+        assert status == 404
+        assert service.handle("GET", "/jobs")[1]["jobs"] == []
+
+    def test_sweep_without_spec_400(self, service):
+        assert service.handle("POST", "/sweeps", body={"workers": 2})[0] == 400
+
+
+class TestLaunchAndReplay:
+    def test_launch_poll_persist_replay(self, service):
+        status, payload = service.handle(
+            "POST", "/runs", body={"params": FAST_PARAMS}
+        )
+        assert status == 202
+        job = wait_job(service, payload["job"]["job_id"])
+        assert job["status"] == "done", job["error"]
+        run_id = job["result"]["run_id"]
+        assert job["result"]["trace_digest"] is None
+
+        status, listing = service.handle("GET", "/runs")
+        assert status == 200
+        assert listing["total"] == 1
+        assert listing["runs"][0]["run_id"] == run_id
+        assert listing["runs"][0]["source"] == "serve"
+
+        status, record = service.handle("GET", f"/runs/{run_id[:12]}")
+        assert status == 200
+        assert record["run"]["summary_digest"] == job["result"]["summary_digest"]
+
+        status, payload = service.handle("POST", f"/runs/{run_id[:12]}/replay")
+        assert status == 202
+        replay = wait_job(service, payload["job"]["job_id"])
+        assert replay["status"] == "done", replay["error"]
+        assert replay["result"]["ok"] is True
+        assert (
+            replay["result"]["replayed_summary_digest"]
+            == job["result"]["summary_digest"]
+        )
+
+    def test_launch_with_trace_records_and_replays(self, service):
+        status, payload = service.handle(
+            "POST", "/runs", body={"params": FAST_PARAMS, "trace": True}
+        )
+        assert status == 202
+        job = wait_job(service, payload["job"]["job_id"])
+        assert job["status"] == "done", job["error"]
+        assert job["result"]["trace_digest"] is not None
+        run_id = job["result"]["run_id"]
+
+        status, record = service.handle("GET", f"/runs/{run_id}")
+        assert record["run"]["trace_path"] is not None
+
+        status, payload = service.handle("POST", f"/runs/{run_id}/replay")
+        replay = wait_job(service, payload["job"]["job_id"])
+        assert replay["result"]["trace_ok"] is True
+
+    def test_list_filters_by_protocol(self, service):
+        for protocol in ("paris", "cure"):
+            _, payload = service.handle(
+                "POST",
+                "/runs",
+                body={"params": {**FAST_PARAMS, "protocol": protocol}},
+            )
+            job = wait_job(service, payload["job"]["job_id"])
+            assert job["status"] == "done", job["error"]
+        _, listing = service.handle("GET", "/runs", query={"protocol": "cure"})
+        assert listing["total"] == 1
+        assert listing["runs"][0]["protocol"] == "cure"
+
+
+class TestSweepEndpoint:
+    SPEC = {
+        "name": "served-sweep",
+        "seed": 42,
+        "repeats": 1,
+        "base": {
+            "dcs": 3,
+            "machines": 2,
+            "threads": 1,
+            "keys": 20,
+            "warmup": 0.2,
+            "duration": 0.3,
+        },
+        "axes": {"locality": [1.0, 0.5]},
+    }
+
+    def test_sweep_runs_ingest_into_repository(self, service):
+        status, payload = service.handle(
+            "POST", "/sweeps", body={"spec": self.SPEC, "workers": 64}
+        )
+        assert status == 202
+        # Requested process-parallelism is clamped to the pool bound.
+        assert "workers=2" in payload["job"]["detail"]
+        job = wait_job(service, payload["job"]["job_id"], timeout=120.0)
+        assert job["status"] == "done", job["error"]
+        assert job["result"]["total"] == 2
+        assert len(job["result"]["run_ids"]) == 2
+        _, listing = service.handle("GET", "/runs")
+        assert listing["total"] == 2
+        assert all(
+            e["source"] == "sweep:served-sweep" for e in listing["runs"]
+        )
+        # Every served sweep run is individually replayable.
+        run_id = job["result"]["run_ids"][0]
+        _, payload = service.handle("POST", f"/runs/{run_id}/replay")
+        replay = wait_job(service, payload["job"]["job_id"])
+        assert replay["result"]["ok"] is True
+
+    def test_malformed_spec_400(self, service):
+        status, payload = service.handle(
+            "POST", "/sweeps", body={"spec": {"name": "x", "axes": {"volume": [1]}}}
+        )
+        assert status == 400
+        assert "unknown axis" in payload["error"]
+
+
+class HttpClient:
+    """Minimal urllib JSON client against the test server."""
+
+    def __init__(self, base):
+        self.base = base
+
+    def get(self, path):
+        try:
+            with urllib.request.urlopen(self.base + path) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+
+    def post(self, path, body=None):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+
+
+@pytest.fixture
+def http(tmp_path):
+    """A live stdlib server on an ephemeral port, torn down after the test."""
+    service = ServeService(ServeConfig(results_dir=str(tmp_path / "results")))
+    httpd = make_server(service, "127.0.0.1", 0, quiet=True)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield HttpClient(f"http://127.0.0.1:{httpd.server_port}")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+
+
+class TestOverRealSockets:
+    """The serve-smoke loop, in-tree: launch over HTTP, poll, replay."""
+
+    def poll(self, http, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, payload = http.get(f"/jobs/{job_id}")
+            assert status == 200
+            if payload["job"]["status"] in ("done", "failed"):
+                return payload["job"]
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+    def test_full_loop_over_http(self, http):
+        status, payload = http.get("/health")
+        assert status == 200 and payload["status"] == "ok"
+
+        status, payload = http.post(
+            "/runs", {"params": FAST_PARAMS, "trace": True}
+        )
+        assert status == 202
+        job = self.poll(http, payload["job"]["job_id"])
+        assert job["status"] == "done", job["error"]
+        run_id = job["result"]["run_id"]
+
+        status, payload = http.post(f"/runs/{run_id[:12]}/replay")
+        assert status == 202
+        replay = self.poll(http, payload["job"]["job_id"])
+        assert replay["status"] == "done", replay["error"]
+        assert replay["result"]["ok"] is True
+        assert replay["result"]["trace_ok"] is True
+
+    def test_error_statuses_over_http(self, http):
+        assert http.post("/runs", {"params": {"bogus": 1}})[0] == 400
+        assert http.post("/runs/0123456789abcdef/replay")[0] == 404
+        assert http.post("/health")[0] == 405
+        assert http.get("/nope")[0] == 404
+
+    def test_invalid_json_body_is_400(self, http):
+        request = urllib.request.Request(
+            http.base + "/runs",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+
+class TestWsgiAppDirect:
+    """The WSGI adapter itself, without sockets."""
+
+    def call(self, service, method, path, body=None):
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        raw = b"" if body is None else json.dumps(body).encode("utf-8")
+        import io
+
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        chunks = wsgi_app(service)(environ, start_response)
+        return captured["status"], json.loads(b"".join(chunks))
+
+    def test_json_content_type_and_length(self, service):
+        app_status, payload = self.call(service, "GET", "/health")
+        assert app_status == 200
+        assert payload["status"] == "ok"
+
+    def test_garbage_body_400(self, service):
+        import io
+
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/runs",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": "9",
+            "wsgi.input": io.BytesIO(b"{not json"),
+        }
+        list(wsgi_app(service)(environ, start_response))
+        assert captured["status"] == 400
