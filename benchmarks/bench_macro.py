@@ -18,14 +18,25 @@ trace.  Four rate metrics, higher is better:
   side of the O(window) claim (inverted so the perf gate's
   higher-is-better rule covers memory regressions too).
 
+``--shards N [N ...]`` additionally times the compute-sharded runner
+(``repro run --shards``, docs/scaling.md) on the same configuration and
+records one ``shard<N>_speedup`` metric per count: the sharded end-to-end
+rate (run + trace merge + windowed re-check of the merged trace — the same
+work the sequential run does inline) divided by the sequential
+``macro_ops_per_s`` rate.  On a single-core machine the speedup is <= 1x
+(the barrier exchange is pure overhead); the metric documents what the
+recording machine provided.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_macro.py \
-        [--scale smoke|big] [--repeats N] [--out BENCH_macro.json]
+        [--scale smoke|big] [--repeats N] [--shards 2 4] \
+        [--out BENCH_macro.json]
 
-CI runs ``--scale smoke`` and gates the result against the committed
-``BENCH_macro.json`` with a loose cross-machine tolerance; refresh the
-baseline with ``--scale big --out BENCH_macro.json`` on an idle machine.
+CI runs ``--scale smoke --shards 2 4`` and gates the result against the
+committed ``BENCH_macro.json`` with a loose cross-machine tolerance;
+refresh the baseline with ``--scale big --shards 2 4 --out
+BENCH_macro.json`` on an idle machine.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from repro.consistency.streaming import (  # noqa: E402
     StreamingOracle,
     check_trace,
 )
+from repro.sim.sharded import run_sharded_experiment  # noqa: E402
 from repro.sim.trace import TraceWriter  # noqa: E402
 
 #: Simulated-run shape by scale.  ``smoke`` keeps the CI job under ~a minute;
@@ -54,8 +66,11 @@ from repro.sim.trace import TraceWriter  # noqa: E402
 #: (commit rate x window), so the big tier scales duration/threads and
 #: keeps the window at 0.5s — large enough to exercise retirement
 #: continuously, small enough that a baseline records in minutes.
+#: Both scales deploy 4 DCs so ``--shards 4`` (one kernel per DC) is
+#: measurable on the same configuration the sequential metrics use.
 SCALES: Dict[str, Dict[str, float]] = {
     "smoke": {
+        "n_dcs": 4,
         "warmup": 0.3,
         "duration": 0.7,
         "keys_per_partition": 50,
@@ -63,6 +78,7 @@ SCALES: Dict[str, Dict[str, float]] = {
         "window": 0.5,
     },
     "big": {
+        "n_dcs": 4,
         "warmup": 0.5,
         "duration": 2.0,
         "keys_per_partition": 100,
@@ -70,6 +86,15 @@ SCALES: Dict[str, Dict[str, float]] = {
         "window": 0.5,
     },
 }
+
+
+def build_config(params: Dict[str, float]):
+    """The simulation configuration one scale's parameters describe."""
+    return small_test_config(
+        n_dcs=int(params["n_dcs"]),
+        keys_per_partition=int(params["keys_per_partition"]),
+        threads_per_client=int(params["threads_per_client"]),
+    ).with_(warmup=params["warmup"], duration=params["duration"])
 
 
 def peak_rss_mb() -> float:
@@ -84,10 +109,7 @@ def peak_rss_mb() -> float:
 
 def bench_big_run(params: Dict[str, float], trace_path: pathlib.Path) -> Tuple[dict, float]:
     """One end-to-end big-tier run; returns (counters, elapsed seconds)."""
-    config = small_test_config(
-        keys_per_partition=int(params["keys_per_partition"]),
-        threads_per_client=int(params["threads_per_client"]),
-    ).with_(warmup=params["warmup"], duration=params["duration"])
+    config = build_config(params)
     checker = StreamingChecker(window=params["window"], level="tcc")
     started = time.perf_counter()
     with TraceWriter(trace_path) as sink:
@@ -105,6 +127,29 @@ def bench_big_run(params: Dict[str, float], trace_path: pathlib.Path) -> Tuple[d
     return counters, elapsed
 
 
+def bench_big_run_sharded(
+    params: Dict[str, float], trace_path: pathlib.Path, shards: int
+) -> Tuple[int, float]:
+    """One sharded big-tier run; returns (events, elapsed seconds).
+
+    Covers the same end-to-end work as :func:`bench_big_run` — simulate,
+    spill a trace, windowed-check every event — via the sharded path:
+    ``run_sharded_experiment`` (per-shard kernels + trace spills + merge)
+    followed by :func:`check_trace` over the merged file, which is exactly
+    what ``repro run --big --shards N`` executes.
+    """
+    config = build_config(params)
+    started = time.perf_counter()
+    result = run_sharded_experiment(
+        config, shards, protocol="paris", trace_path=str(trace_path)
+    )
+    checker = check_trace(trace_path, window=params["window"], level="tcc")
+    elapsed = time.perf_counter() - started
+    assert not checker.violations, checker.violations[:5]
+    assert result.transactions_measured > 0
+    return checker.reads_checked + checker.commits_checked, elapsed
+
+
 def bench_check_trace(trace_path: pathlib.Path, window: float) -> Tuple[int, float]:
     """Re-check the spilled trace; returns (events, elapsed seconds)."""
     started = time.perf_counter()
@@ -114,17 +159,22 @@ def bench_check_trace(trace_path: pathlib.Path, window: float) -> Tuple[int, flo
     return checker.reads_checked + checker.commits_checked, elapsed
 
 
-def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
+def run_suite(
+    scale: str, repeats: int, shards: Tuple[int, ...] = ()
+) -> Dict[str, Dict[str, float]]:
     """Run the macro suite ``repeats`` times; keep each metric's best rate."""
     params = SCALES[scale]
     best: Dict[str, Dict[str, float]] = {}
 
-    def record(name: str, rate: float, unit: str, ops: float, seconds: float) -> None:
+    def record(
+        name: str, rate: float, unit: str, ops: float, seconds: float,
+        digits: int = 1,
+    ) -> None:
         """Keep the best observed rate for ``name``."""
         entry = best.get(name)
         if entry is None or rate > entry["rate"]:
             best[name] = {
-                "rate": round(rate, 1),
+                "rate": round(rate, digits),
                 "unit": unit,
                 "ops": int(ops),
                 "seconds": round(seconds, 6),
@@ -141,6 +191,16 @@ def run_suite(scale: str, repeats: int) -> Dict[str, Dict[str, float]]:
             checked, check_elapsed = bench_check_trace(trace_path, params["window"])
             record("check_events_per_s", checked / check_elapsed, "events/s",
                    checked, check_elapsed)
+        # Speedup = sharded end-to-end rate over the sequential best; both
+        # sides count the same events, so this is a pure wall-clock ratio.
+        sequential_rate = best["macro_ops_per_s"]["rate"]
+        for count in shards:
+            shard_trace = pathlib.Path(tmp) / f"trace_shard{count}.jsonl"
+            for _ in range(repeats):
+                events, elapsed = bench_big_run_sharded(params, shard_trace, count)
+                record(f"shard{count}_speedup",
+                       (events / elapsed) / sequential_rate, "x",
+                       events, elapsed, digits=3)
         # Peak RSS is process-wide and monotonic, so measure it once after
         # all runs: events/MB of the largest footprint any repeat reached.
         rss = peak_rss_mb()
@@ -163,8 +223,13 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=None, help="write JSON results to this path")
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[], metavar="N",
+        help="also time 'repro run --shards N' for each count and record "
+        "shard<N>_speedup vs the sequential macro_ops_per_s rate",
+    )
     args = parser.parse_args(argv)
-    metrics = run_suite(args.scale, max(1, args.repeats))
+    metrics = run_suite(args.scale, max(1, args.repeats), tuple(args.shards))
     document = {
         "suite": "macro",
         "schema": 1,

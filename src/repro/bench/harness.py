@@ -12,8 +12,9 @@ The harness mirrors the paper's methodology (Section V-A):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from ..clocks.hlc import timestamp_to_seconds
 from ..cluster.membership import Membership
@@ -55,6 +56,9 @@ class Cluster:
     injector: Optional[FaultInjector] = None
     clients: List[PaRiSClient] = field(default_factory=list)
     drivers: List[SessionDriver] = field(default_factory=list)
+    #: When this process simulates only a DC shard (repro.sim.sharded): the
+    #: DCs whose servers/clients exist here.  None for a whole-cluster build.
+    local_dcs: Optional[frozenset] = None
     _client_counters: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -139,11 +143,18 @@ def build_cluster(
     protocol: Optional[str] = None,
     oracle: Optional[ConsistencyOracle] = None,
     preload: bool = True,
+    local_dcs: Optional[Iterable[int]] = None,
 ) -> Cluster:
     """Construct servers, network and (optionally) the preloaded dataset.
 
     ``protocol`` is a registered protocol name (see ``repro protocols``);
     omitted, it defaults to the configuration's ``protocol_name``.
+
+    ``local_dcs`` restricts the build to one DC shard: only servers and
+    preloads of those DCs are materialised, and the network buffers sends
+    to the other DCs for the shard runner's barrier exchange (see
+    :mod:`repro.sim.sharded`).  The cluster spec, membership, and fault
+    validation still cover the whole deployment.
     """
     if protocol is None:
         protocol = config.protocol_name
@@ -167,7 +178,16 @@ def build_cluster(
             f"DCs {empty_dcs} host no partitions (need n_partitions >= n_dcs); "
             f"got {spec.n_partitions} partitions over {spec.n_dcs} DCs"
         )
+    local: Optional[frozenset] = None
+    if local_dcs is not None:
+        local = frozenset(local_dcs)
+        invalid = sorted(dc for dc in local if not 0 <= dc < spec.n_dcs)
+        if invalid:
+            raise ValueError(f"local_dcs outside the deployment: {invalid}")
+        network.enable_shard_routing(local)
     for dc_id in range(spec.n_dcs):
+        if local is not None and dc_id not in local:
+            continue
         for partition in spec.dc_partitions(dc_id):
             servers[(dc_id, partition)] = server_cls(
                 network=network,
@@ -183,6 +203,8 @@ def build_cluster(
         for partition in range(spec.n_partitions):
             keys = dataset_keys(spec, config.workload, partition)
             for dc_id in spec.replica_dcs(partition):
+                if local is not None and dc_id not in local:
+                    continue
                 server = servers[(dc_id, partition)]
                 for key in keys:
                     server.preload(key, PRELOAD_VALUE)
@@ -200,11 +222,23 @@ def build_cluster(
         servers=servers,
         membership=membership,
         oracle=oracle,
+        local_dcs=local,
     )
     if config.faults is not None:
         cluster.injector = FaultInjector(cluster)
         cluster.injector.install(config.faults)
     return cluster
+
+
+#: Scale of the per-session start stagger (seconds).  Each session begins
+#: its closed loop after a deterministic delay in [0, this): sub-microsecond
+#: — invisible next to the 125us LAN hop — but enough to de-phase sessions
+#: in different DCs, whose otherwise lock-stepped local transactions would
+#: complete at *exactly* equal floats on the constant LAN-latency lattice.
+#: With the stagger, cross-DC event-time ties are measure-zero, which is
+#: what makes the sharded runner's barrier-merge order (and the merged
+#: consistency trace) reproduce the single-kernel interleaving exactly.
+SESSION_STAGGER = 1e-6
 
 
 def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver]:
@@ -219,6 +253,8 @@ def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver
         return sim.now
 
     for dc_id in range(spec.n_dcs):
+        if cluster.local_dcs is not None and dc_id not in cluster.local_dcs:
+            continue
         for partition in spec.dc_partitions(dc_id):
             for thread in range(workload.threads_per_client):
                 client = cluster.new_client(dc_id, partition, client_index=thread)
@@ -229,7 +265,10 @@ def deploy_sessions(cluster: Cluster, stats: SessionStats) -> List[SessionDriver
                     cluster.rngs.stream(f"workload.d{dc_id}.p{partition}.t{thread}"),
                     clock=clock,
                 )
-                driver = SessionDriver(client, generator, stats)
+                stagger = cluster.rngs.stream(
+                    f"stagger.d{dc_id}.p{partition}.t{thread}"
+                ).random() * SESSION_STAGGER
+                driver = SessionDriver(client, generator, stats, initial_delay=stagger)
                 drivers.append(driver)
     cluster.drivers = drivers
     return drivers
@@ -322,52 +361,150 @@ def run_experiment(
 
 def summarize(cluster: Cluster, stats: SessionStats) -> ExperimentResult:
     """Reduce a finished run into an :class:`ExperimentResult`."""
-    config = cluster.config
-    samples = stats.latency.samples
+    return summarize_measures(
+        cluster.config, cluster.protocol, collect_measures(cluster, stats)
+    )
+
+
+def collect_measures(cluster: Cluster, stats: SessionStats) -> Dict[str, Any]:
+    """Extract everything :func:`summarize_measures` needs, as plain data.
+
+    The measures dict is picklable and shard-mergeable: per-server sample
+    lists are keyed by ``(dc_id, partition)`` so shards' disjoint
+    contributions reassemble in one canonical order, counters are plain
+    ints, and nothing references live simulation objects.
+    """
+    meter = stats.meter
+    per_server: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    elapsed = cluster.sim.now
+    for (dc_id, partition), server in cluster.servers.items():
+        per_server[(dc_id, partition)] = {
+            "blocking": list(server.metrics.blocking.samples),
+            "read_slices": server.metrics.read_slices_served,
+            "visibility": list(server.metrics.visibility.samples),
+            "utilization": server.cpu.utilization(elapsed),
+        }
+    return {
+        "sessions": len(cluster.drivers),
+        "latency_samples": list(stats.latency.samples),
+        "completed_in_window": meter.completed_in_window,
+        "window_start": meter.window_start,
+        "window_end": meter.window_end,
+        "multi_dc_count": stats.multi_dc_count,
+        "servers": per_server,
+        "now": cluster.sim.now,
+        "min_ust": cluster.min_ust(),
+        "messages_total": cluster.network.metrics.messages_total,
+        "messages_inter_dc": cluster.network.metrics.messages_inter_dc,
+        "metadata_bytes_total": cluster.network.metrics.metadata_bytes_total,
+        "read_retries_total": sum(client.read_retries for client in cluster.clients),
+    }
+
+
+#: Measure keys merged by plain integer addition across shards.
+_SUMMED_MEASURES = (
+    "sessions",
+    "completed_in_window",
+    "multi_dc_count",
+    "messages_total",
+    "messages_inter_dc",
+    "metadata_bytes_total",
+    "read_retries_total",
+)
+
+
+def merge_measures(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-shard measures into one whole-deployment measures dict.
+
+    Every summary statistic is recomputed from the merged raw data by
+    :func:`summarize_measures`, so a merged sharded run summarises
+    byte-identically to the equivalent single-kernel run: counters add,
+    disjoint per-server maps union, latency samples concatenate (their
+    reductions are order-independent), window anchors and the final clock
+    agree across shards by the barrier discipline, and the UST bound is
+    the min over shards' minima.
+    """
+    if not parts:
+        raise ValueError("merge_measures needs at least one shard's measures")
+    merged = dict(parts[0])
+    merged["latency_samples"] = list(parts[0]["latency_samples"])
+    merged["servers"] = dict(parts[0]["servers"])
+    for part in parts[1:]:
+        for key in _SUMMED_MEASURES:
+            merged[key] += part[key]
+        merged["latency_samples"].extend(part["latency_samples"])
+        overlap = merged["servers"].keys() & part["servers"].keys()
+        if overlap:
+            raise ValueError(f"shards overlap on servers: {sorted(overlap)}")
+        merged["servers"].update(part["servers"])
+        merged["now"] = max(merged["now"], part["now"])
+        merged["min_ust"] = min(merged["min_ust"], part["min_ust"])
+    return merged
+
+
+def summarize_measures(
+    config: SimulationConfig, protocol: str, measures: Dict[str, Any]
+) -> ExperimentResult:
+    """Reduce a measures dict into an :class:`ExperimentResult`.
+
+    Per-server data is consumed in sorted ``(dc_id, partition)`` order and
+    the latency mean uses :func:`math.fsum` (exactly rounded, hence
+    independent of sample order), so a single-kernel run and a merged
+    sharded run of the same configuration produce identical floats.
+    """
+    samples = measures["latency_samples"]
     if samples:
-        latency_mean = stats.latency.mean
+        latency_mean = math.fsum(samples) / len(samples)
         latency_p50 = percentile(samples, 0.50)
         latency_p95 = percentile(samples, 0.95)
         latency_p99 = percentile(samples, 0.99)
     else:
         latency_mean = latency_p50 = latency_p95 = latency_p99 = 0.0
 
-    servers = cluster.all_servers()
+    server_keys = sorted(measures["servers"])
+    servers = [measures["servers"][key] for key in server_keys]
     blocking_samples: List[float] = []
     total_slices = 0
     for server in servers:
-        blocking_samples.extend(server.metrics.blocking.samples)
-        total_slices += server.metrics.read_slices_served
+        blocking_samples.extend(server["blocking"])
+        total_slices += server["read_slices"]
     blocked = len(blocking_samples)
     blocking_mean = sum(blocking_samples) / blocked if blocked else 0.0
     blocking_p99 = percentile(blocking_samples, 0.99) if blocked else 0.0
-    measured = stats.meter.completed_in_window
+    measured = measures["completed_in_window"]
 
     visibility_curve: List[Tuple[float, float]] = []
     visibility_mean = 0.0
     visibility_p99 = 0.0
     if config.visibility_sample_rate > 0.0:
-        per_server = [server.metrics.visibility.samples for server in servers]
+        per_server = [server["visibility"] for server in servers]
         visibility_curve = mean_cdf(per_server, n_points=100)
         flat = [sample for samples_ in per_server for sample in samples_]
         if flat:
             visibility_mean = sum(flat) / len(flat)
             visibility_p99 = percentile(flat, 0.99)
 
-    elapsed = cluster.sim.now
-    utilizations = [server.cpu.utilization(elapsed) for server in servers]
+    utilizations = [server["utilization"] for server in servers]
+
+    window_start = measures["window_start"]
+    window_end = measures["window_end"]
+    throughput = 0.0
+    if window_start is not None and window_end is not None:
+        window = window_end - window_start
+        if window > 0:
+            throughput = measured / window
 
     return ExperimentResult(
-        protocol=cluster.protocol,
+        protocol=protocol,
         threads_per_client=config.workload.threads_per_client,
-        sessions=len(cluster.drivers),
-        throughput=stats.meter.throughput(),
+        sessions=measures["sessions"],
+        throughput=throughput,
         latency_mean=latency_mean,
         latency_p50=latency_p50,
         latency_p95=latency_p95,
         latency_p99=latency_p99,
         transactions_measured=measured,
-        multi_dc_fraction=stats.multi_dc_count / measured if measured else 0.0,
+        multi_dc_fraction=measures["multi_dc_count"] / measured if measured else 0.0,
         blocking_mean=blocking_mean,
         blocking_p99=blocking_p99,
         blocked_fraction=blocked / total_slices if total_slices else 0.0,
@@ -375,10 +512,10 @@ def summarize(cluster: Cluster, stats: SessionStats) -> ExperimentResult:
         visibility_cdf=visibility_curve,
         visibility_mean=visibility_mean,
         visibility_p99=visibility_p99,
-        ust_staleness=cluster.ust_staleness(),
-        messages_total=cluster.network.metrics.messages_total,
-        messages_inter_dc=cluster.network.metrics.messages_inter_dc,
+        ust_staleness=measures["now"] - timestamp_to_seconds(measures["min_ust"]),
+        messages_total=measures["messages_total"],
+        messages_inter_dc=measures["messages_inter_dc"],
         mean_cpu_utilization=sum(utilizations) / len(utilizations) if utilizations else 0.0,
-        metadata_bytes_total=cluster.network.metrics.metadata_bytes_total,
-        read_retries_total=sum(client.read_retries for client in cluster.clients),
+        metadata_bytes_total=measures["metadata_bytes_total"],
+        read_retries_total=measures["read_retries_total"],
     )

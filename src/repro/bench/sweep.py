@@ -47,6 +47,7 @@ from typing import (
     Tuple,
 )
 
+from .. import workers as workers_mod
 from ..cluster.topology import ClusterSpec
 from ..config import SimulationConfig
 from ..faults.plan import FaultPlan, FaultPlanError
@@ -66,7 +67,10 @@ from .harness import run_experiment
 #: v5: the ``preset`` geo-topology parameter joined the namespace (named
 #: cloud-region RTT matrices replacing the synthetic latency model), and the
 #: membership plane changed server wiring (dict version vectors, reconfig).
-CACHE_VERSION = 5
+#: v6: network jitter/loss streams split per source DC and sessions gained a
+#: deterministic sub-microsecond start stagger (shard-determinism groundwork
+#: for repro.sim.sharded); trajectories moved for every configuration.
+CACHE_VERSION = 6
 
 #: Run parameters and their defaults (mirroring ``repro run``'s flags).
 #: ``partitions_per_tx=None`` means "min(4, machines)", the CLI's behaviour.
@@ -641,26 +645,15 @@ def parallel_map(
 ) -> List[Any]:
     """Order-preserving map over worker processes (inline when ``workers<=1``).
 
-    ``fn`` must be a module-level callable and ``items`` picklable; used by
-    drivers like ``benchmarks/run_all.py`` to fan independent experiment
-    sections out across cores.  ``progress(index, item)`` fires as each
-    item's result arrives (streamed in order via ``imap``, not after a
-    whole-pool barrier).
+    ``fn`` must be a module-level callable (enforced with a named
+    :class:`repro.workers.WorkerCallableError` when parallelism engages —
+    see :mod:`repro.workers` for the pickling constraints) and ``items``
+    picklable; used by drivers like ``benchmarks/run_all.py`` to fan
+    independent experiment sections out across cores.  ``progress(index,
+    item)`` fires as each item's result arrives (streamed in order via
+    ``imap``, not after a whole-pool barrier).
     """
-    items = list(items)
-    results: List[Any] = []
-    if workers <= 1 or len(items) <= 1:
-        for i, item in enumerate(items):
-            results.append(fn(item))
-            if progress:
-                progress(i, item)
-        return results
-    with multiprocessing.Pool(min(workers, len(items))) as pool:
-        for i, result in enumerate(pool.imap(fn, items)):
-            results.append(result)
-            if progress:
-                progress(i, items[i])
-    return results
+    return workers_mod.pool_map(fn, items, workers=workers, progress=progress)
 
 
 def iter_axes_summary(spec: SweepSpec) -> Iterable[str]:

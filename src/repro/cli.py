@@ -5,8 +5,10 @@ Commands
 ``run``       Run one simulated experiment and print its summary
               (``--faults plan.json`` applies a fault schedule; ``--big``
               switches to the streaming big-run tier: O(window) windowed
-              consistency checking plus an optional ``--trace-out`` spill —
-              see docs/scaling.md).
+              consistency checking plus an optional ``--trace-out`` spill;
+              ``--shards N`` partitions the DCs across N worker processes
+              with byte-identical results; ``--profile STATS`` dumps a
+              cProfile of the hot loop — see docs/scaling.md).
 ``compare``   Run PaRiS and BPR on the same configuration, side by side.
 ``check``     Run a workload under the consistency oracle and report
               violations (exit status 1 if any are found); also accepts
@@ -26,6 +28,10 @@ Commands
 ``serve``     Long-running HTTP front door: launch/inspect/list/replay runs
               and submit sweeps over HTTP, executed on a bounded worker
               pool and persisted to the run repository (docs/serving.md).
+``trace``     Trace-file utilities; ``trace merge`` k-way-merges per-shard
+              JSONL traces (from ``run --big --shards N --trace-out``) into
+              one commit-time-ordered trace, byte-identical to the trace a
+              single-shard run writes (docs/scaling.md).
 ``profiles``  List the registered workload profiles (``--workload`` values
               and the ``workload`` sweep axis; see docs/workloads.md).
 ``protocols`` List the registered protocols (``--protocol`` values and the
@@ -118,6 +124,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the completed run into the run repository so it can "
         "be queried ('repro runs') and replayed ('repro replay'); with "
         "--big --trace-out the trace is stored too (docs/serving.md)",
+    )
+    run_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the DCs across N worker processes advancing in "
+        "lockstep latency windows; summaries and traces are byte-identical "
+        "to --shards 1 (requires N <= --dcs; docs/scaling.md)",
+    )
+    run_cmd.add_argument(
+        "--profile",
+        metavar="STATS",
+        default=None,
+        help="dump a cProfile of the simulation hot loop to this file "
+        "(pstats format; one file per shard, STATS.shard<i>, with --shards)",
     )
     _add_repo_arg(run_cmd)
 
@@ -280,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace", help="trace-file utilities (merge per-shard traces)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    merge_cmd = trace_sub.add_parser(
+        "merge",
+        help="k-way merge shard traces into one commit-time-ordered trace",
+    )
+    merge_cmd.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="TRACE_JSONL",
+        help="per-shard input traces, each sorted by commit time (the "
+        "<path>.shard<i> files a sharded run leaves beside its merged trace)",
+    )
+    merge_cmd.add_argument(
+        "--out",
+        "-o",
+        required=True,
+        metavar="OUT_JSONL",
+        help="merged output trace (re-checkable with 'repro check --trace-in')",
     )
 
     profiles_cmd = commands.add_parser(
@@ -465,32 +510,107 @@ def cmd_run(args: argparse.Namespace) -> int:
     streaming oracle: a windowed :class:`StreamingChecker` consumes them
     inline with O(window) memory, and ``--trace-out`` optionally spills
     them to a JSONL file for later re-checking.  Violations exit 1.
+
+    With ``--shards N`` the DCs are partitioned across N worker processes
+    advancing in conservative latency windows (:mod:`repro.sim.sharded`);
+    summaries and traces are byte-identical to the single-kernel run, so
+    sharding composes with ``--big``, ``--save``, and ``repro replay``
+    (which re-executes sequentially and still matches).  Unshardable
+    inputs — more shards than DCs, membership fault plans — exit 2 with a
+    named error.
     """
+    from .sim.sharded import ShardingError
+
+    try:
+        if args.shards < 1:
+            raise ShardingError(f"--shards must be >= 1: {args.shards}")
+        return _cmd_run_inner(args)
+    except ShardingError as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
+    """The body of ``repro run`` (ShardingError handled by the wrapper)."""
+    config = config_from_args(args)
     if not args.big:
-        result = run_experiment(config_from_args(args), protocol=args.protocol)
+        if args.shards > 1:
+            from .sim.sharded import run_sharded_experiment
+
+            result = run_sharded_experiment(
+                config, args.shards, protocol=args.protocol,
+                profile_path=args.profile,
+            )
+        elif args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = run_experiment(config, protocol=args.protocol)
+            finally:
+                profiler.disable()
+            profiler.dump_stats(args.profile)
+        else:
+            result = run_experiment(config, protocol=args.protocol)
         if args.json:
             print(result.to_json())
         else:
             print(format_result(result))
+        _report_profile(args)
         if args.save:
             _save_to_repository(args, result)
         return 0
 
-    from .consistency.streaming import StreamingChecker, StreamingOracle
+    from .consistency.streaming import StreamingChecker, StreamingOracle, check_trace
     from .protocols import get_protocol
     from .sim.trace import TraceWriter
 
     level = get_protocol(args.protocol).consistency
-    checker = StreamingChecker(window=args.window, level=level)
-    sink = TraceWriter(args.trace_out) if args.trace_out else None
-    try:
-        oracle = StreamingOracle(sink=sink, checker=checker)
-        result = run_experiment(
-            config_from_args(args), protocol=args.protocol, oracle=oracle
-        )
-    finally:
-        if sink is not None:
-            sink.close()
+    trace_path: Optional[str] = None
+    if args.shards > 1:
+        import os
+        import tempfile
+
+        from .sim.sharded import run_sharded_experiment
+
+        # Sharded big runs stream each shard's events to its own spill
+        # file; the merged, commit-time-ordered trace then feeds the
+        # windowed checker exactly as a live single-kernel stream would
+        # (same bytes, so same counters and verdict).  The checker needs
+        # that merged file even when the caller didn't ask to keep one.
+        scratch: Optional[tempfile.TemporaryDirectory] = None
+        if args.trace_out:
+            trace_path = args.trace_out
+        else:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-big-")
+            trace_path = os.path.join(scratch.name, "trace.jsonl")
+        try:
+            result = run_sharded_experiment(
+                config,
+                args.shards,
+                protocol=args.protocol,
+                trace_path=trace_path,
+                profile_path=args.profile,
+            )
+            checker = check_trace(trace_path, window=args.window, level=level)
+            with open(trace_path, "rb") as handle:
+                trace_events = sum(1 for _ in handle)
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+                trace_path = None
+    else:
+        checker = StreamingChecker(window=args.window, level=level)
+        sink = TraceWriter(args.trace_out) if args.trace_out else None
+        try:
+            oracle = StreamingOracle(sink=sink, checker=checker)
+            result = run_experiment(config, protocol=args.protocol, oracle=oracle)
+        finally:
+            if sink is not None:
+                sink.close()
+        trace_path = args.trace_out if sink is not None else None
+        trace_events = sink.count if sink is not None else 0
     violations = checker.violations
     if args.json:
         print(result.to_json())
@@ -502,17 +622,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{checker.versions_retired} versions retired, "
         f"{checker.state_size} in window, {len(violations)} violations"
     )
-    if sink is not None:
-        print(f"trace: {sink.count} events -> {sink.path}")
+    if trace_path is not None:
+        print(f"trace: {trace_events} events -> {trace_path}")
+    _report_profile(args)
     for violation in violations[:20]:
         print(f"  {violation}")
     if args.save:
         # The run completed either way; a violating run is still worth
         # persisting (and replaying while debugging it).
-        _save_to_repository(
-            args, result, trace_path=args.trace_out if sink is not None else None
-        )
+        _save_to_repository(args, result, trace_path=trace_path)
     return 1 if violations else 0
+
+
+def _report_profile(args: argparse.Namespace) -> None:
+    """Name the cProfile dump(s) that ``repro run --profile`` left behind."""
+    if not getattr(args, "profile", None):
+        return
+    if args.shards > 1:
+        paths = ", ".join(f"{args.profile}.shard{i}" for i in range(args.shards))
+    else:
+        paths = args.profile
+    print(f"profile: {paths}")
 
 
 def _save_to_repository(
@@ -839,6 +969,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: trace-file utilities (currently: ``merge``).
+
+    ``merge`` k-way-merges per-shard JSONL traces (each sorted by commit
+    time, as written by a sharded ``repro run --big --trace-out``) into one
+    commit-time-ordered trace whose bytes match what a single-shard run
+    would have written.  A truncated or corrupt shard file is a named
+    error (exit 2), never a silently shorter merge.
+    """
+    from .consistency.streaming import TraceMergeError, merge_traces
+
+    if args.trace_command == "merge":
+        try:
+            count = merge_traces(args.inputs, args.out)
+        except (TraceMergeError, OSError) as exc:
+            print(f"trace merge failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {len(args.inputs)} trace(s), {count} events -> {args.out} "
+            "(re-check with 'repro check --trace-in')"
+        )
+        return 0
+    raise ValueError(args.trace_command)  # pragma: no cover - argparse enforces
+
+
 def cmd_profiles(args: argparse.Namespace) -> int:
     """``repro profiles``: the registered workload-profile catalogue."""
     from .workload.profiles import all_profiles
@@ -996,6 +1151,7 @@ _COMMANDS = {
     "runs": cmd_runs,
     "replay": cmd_replay,
     "serve": cmd_serve,
+    "trace": cmd_trace,
     "profiles": cmd_profiles,
     "protocols": cmd_protocols,
     "topology": cmd_topology,

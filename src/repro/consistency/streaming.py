@@ -500,3 +500,65 @@ def check_trace(
     checker = StreamingChecker(window=window, level=level)
     checker.run(decode_event(obj) for obj in read_jsonl(path))
     return checker
+
+
+class TraceMergeError(RuntimeError):
+    """A shard trace could not be merged (truncated, corrupt, or malformed)."""
+
+
+def _read_merge_events(path, index: int) -> Iterator[Tuple[Tuple[float, int, int], dict]]:
+    """Stream one shard trace decorated with its merge key.
+
+    The key is ``(at, input_index, position)``: recording-time order first,
+    then input order for cross-shard ties, then file position (which
+    preserves each shard's own recording order, already nondecreasing in
+    ``at``).  Truncated or corrupt lines raise :class:`TraceMergeError`
+    naming the file and line — a short shard file must never merge
+    silently.
+    """
+    import json
+    import pathlib
+
+    with pathlib.Path(path).open() as handle:
+        position = 0
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceMergeError(
+                    f"corrupt or truncated trace {path}, line {lineno}: {exc}"
+                ) from exc
+            if not isinstance(obj, dict) or "at" not in obj or "seq" not in obj:
+                raise TraceMergeError(
+                    f"not a consistency event in {path}, line {lineno}: "
+                    f"missing 'at'/'seq' fields"
+                )
+            yield (obj["at"], index, position), obj
+            position += 1
+
+
+def merge_traces(inputs: List, output) -> int:
+    """K-way merge shard traces into one canonical stream; returns its length.
+
+    Events are merged in commit/record-time (``at``) order with ties broken
+    deterministically by input position, ``seq`` is renumbered to the final
+    stream position, and lines are re-serialised through
+    :class:`~repro.sim.trace.TraceWriter` — so merging the per-shard traces
+    of a sharded run reproduces, byte for byte, the single trace a
+    single-kernel run of the same configuration writes.  The merged file is
+    directly consumable by ``repro check --trace-in`` and the run
+    repository.
+    """
+    from heapq import merge as heap_merge
+
+    if not inputs:
+        raise TraceMergeError("no input traces to merge")
+    streams = [_read_merge_events(path, index) for index, path in enumerate(inputs)]
+    with TraceWriter(output) as sink:
+        for seq, (_, obj) in enumerate(heap_merge(*streams, key=lambda pair: pair[0])):
+            obj["seq"] = seq
+            sink.write(obj)
+        return sink.count

@@ -19,6 +19,15 @@ corresponding hook fires:
 Determinism: events are installed in plan order before (or during) the run,
 so the kernel's sequence-number tie-break fires same-time events in plan
 order, ahead of protocol messages scheduled later for the same instant.
+
+Sharded runs (:mod:`repro.sim.sharded`) install the *full* plan in every
+shard — validation and link-level actions must see the whole deployment —
+but server-scoped actions (``crash`` / ``recover`` / ``skew``) only touch
+the shard that owns the target DC; the others skip them at apply time.
+Link actions (partition/heal/degrade/restore) apply symmetrically in every
+shard because held and degraded traffic lives at the *sender*.  Membership
+actions are rejected before any shard spawns (they rewire live servers
+across the DC cut), so they never reach a shard-local injector.
 Every applied event is recorded in :attr:`FaultInjector.log` and — when
 tracing is on — emitted as a ``fault`` trace record, which is how the
 determinism tests compare whole trajectories.
@@ -28,7 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Tuple
 
-from .plan import FaultEvent, FaultPlan
+from .plan import _SERVER_ACTIONS, FaultEvent, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..bench.harness import Cluster
@@ -79,6 +88,13 @@ class FaultInjector:
 
     def apply(self, event: FaultEvent) -> None:
         """Apply one event right now (also usable imperatively from tests)."""
+        local_dcs = self._cluster.local_dcs
+        if (
+            local_dcs is not None
+            and event.action in _SERVER_ACTIONS
+            and event.dc not in local_dcs
+        ):
+            return  # server-scoped action owned by another shard
         handler = getattr(self, f"_apply_{event.action}")
         handler(event)
         self.log.append((self._cluster.sim.now, event))

@@ -291,6 +291,29 @@ class Simulator:
             self.step()
         self._now = max(self._now, until)
 
+    def run_window(self, until: float) -> None:
+        """Run events strictly before ``until``, then advance to ``until``.
+
+        The exclusive counterpart of :meth:`run` (which is inclusive of
+        ``until``): events timestamped exactly at ``until`` stay queued for
+        the next window.  This is the barrier primitive of the sharded
+        runner (:mod:`repro.sim.sharded`): each shard executes one lookahead
+        window ``[now, until)``, parks at the barrier, and resumes after the
+        cross-shard message exchange — deliveries injected *at* the barrier
+        time then fire in the next window, exactly as they would have in a
+        single-kernel run.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[_CALLBACK] is None:
+                self._recycle(heappop(queue))
+                continue
+            if head[_TIME] >= until:
+                break
+            self.step()
+        self._now = max(self._now, until)
+
     def run_until_resolved(self, future: Future, limit: float = float("inf")) -> Any:
         """Run until ``future`` resolves; raise if the queue drains first."""
         while not future.done:

@@ -23,13 +23,24 @@ identical whether or not it is being traced — and skip the tracer when
 tracing is off.  Envelopes/endpoints are ``__slots__`` dataclasses scheduled
 through the kernel's no-handle ``post_at`` path.  Inter-DC sends always
 sample the WAN latency model.
+
+Determinism across sharding: jitter and loss draws come from *per-source-DC*
+streams (``network.jitter.d<src>`` / ``network.loss.d<src>``), and every
+delay component — jitter, degradation, retransmits, the FIFO link-clock
+floor — is computed at the **sender**.  A DC's outbound draw order is then a
+function of that DC's own event order alone, which is what lets the sharded
+runner (:mod:`repro.sim.sharded`) split DCs across processes and still
+replay the exact single-kernel trajectory: a shard computes final delivery
+times for cross-shard envelopes locally, buffers them via
+:meth:`Network.enable_shard_routing`, and the receiving shard injects them
+unchanged with :meth:`Network.inject`.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .cpu import Cpu
 from .future import Future
@@ -39,6 +50,23 @@ from .rng import RngRegistry
 from .trace import GLOBAL_TRACER, Tracer
 
 Address = str
+
+
+def dc_of_address(address: Address) -> int:
+    """DC id encoded in a node address (``server/d2/p0`` -> ``2``).
+
+    Every node address in the deployment embeds its DC as the second
+    ``/``-separated component (``d<id>``); the sharded runner uses this to
+    route envelopes whose destination lives in another shard's process and
+    therefore has no registered endpoint here.
+    """
+    try:
+        component = address.split("/", 2)[1]
+        if not component.startswith("d"):
+            raise ValueError(address)
+        return int(component[1:])
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"address does not encode a DC id: {address!r}") from exc
 
 #: Minimum spacing between deliveries on one link, to keep FIFO order strict.
 _FIFO_EPSILON = 1e-9
@@ -100,8 +128,8 @@ class Network:
     __slots__ = (
         "_sim",
         "_latency",
-        "_rng",
-        "_loss_rng",
+        "_jitter_rngs",
+        "_loss_rngs",
         "_tracer",
         "_lan_delay",
         "_endpoints",
@@ -109,6 +137,8 @@ class Network:
         "_partitioned",
         "_degraded",
         "_held",
+        "_local_dcs",
+        "_outbox",
         "metrics",
     )
 
@@ -121,12 +151,24 @@ class Network:
     ) -> None:
         self._sim = sim
         self._latency = latency
-        self._rng = rngs.stream("network.jitter")
-        #: Dedicated stream for loss draws on degraded links: drawing from it
-        #: never perturbs jitter (or any other) streams, so a healthy run and
-        #: a faulted run share their trajectory up to the first fault.
-        self._loss_rng = rngs.stream("network.loss")
+        #: One jitter stream per *source* DC, so a DC's outbound draw order
+        #: depends only on that DC's own send order — the property that lets
+        #: sharded runs replay the single-kernel trajectory exactly.
+        self._jitter_rngs = [
+            rngs.stream(f"network.jitter.d{dc}") for dc in range(latency.n_dcs)
+        ]
+        #: Dedicated per-source-DC streams for loss draws on degraded links:
+        #: drawing from them never perturbs jitter (or any other) streams,
+        #: so a healthy run and a faulted run share their trajectory up to
+        #: the first fault.
+        self._loss_rngs = [
+            rngs.stream(f"network.loss.d{dc}") for dc in range(latency.n_dcs)
+        ]
         self._tracer = tracer if tracer is not None else GLOBAL_TRACER
+        #: When shard routing is on: the DCs simulated by this process.
+        self._local_dcs: Optional[frozenset[int]] = None
+        #: Buffered cross-shard deliveries ``(deliver_at, envelope)``.
+        self._outbox: List[Tuple[float, Envelope]] = []
         #: Constant intra-DC one-way delay used by the untraced fast path
         #: (the LAN base latency is the same for every DC).
         self._lan_delay = latency.base_one_way(0, 0)
@@ -160,8 +202,55 @@ class Network:
         self._endpoints[address] = _Endpoint(dc_id=dc_id, deliver=deliver)
 
     def dc_of(self, address: Address) -> int:
-        """DC id that hosts ``address``."""
-        return self._endpoints[address].dc_id
+        """DC id that hosts ``address``.
+
+        Registered endpoints answer authoritatively; under shard routing a
+        peer in another shard has no endpoint here, so the DC id is parsed
+        from the address itself (every address embeds one).
+        """
+        endpoint = self._endpoints.get(address)
+        if endpoint is not None:
+            return endpoint.dc_id
+        if self._local_dcs is not None:
+            return dc_of_address(address)
+        raise KeyError(f"unknown address: {address}")
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    @property
+    def local_dcs(self) -> Optional[frozenset]:
+        """DCs simulated in this process (None unless shard routing is on)."""
+        return self._local_dcs
+
+    def enable_shard_routing(self, local_dcs: Iterable[int]) -> None:
+        """Restrict this fabric to ``local_dcs``; buffer everything else.
+
+        Sends whose destination DC is not local compute their full delivery
+        time here (jitter, degradation, retransmits, FIFO floor — all
+        sender-side state) but are appended to an outbox instead of being
+        scheduled.  The shard runner drains the outbox at each window
+        barrier and hands every envelope to the destination shard, which
+        schedules it verbatim via :meth:`inject`.
+        """
+        self._local_dcs = frozenset(local_dcs)
+
+    def drain_outbox(self) -> List[Tuple[float, Envelope]]:
+        """Take the buffered cross-shard deliveries accumulated so far."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def inject(self, deliver_at: float, envelope: Envelope) -> None:
+        """Schedule a delivery computed by the sending shard.
+
+        No metrics, tracing, link clock, or delay computation happen here —
+        the sender already did all of that; this is purely the receiving
+        half of a send that crossed the shard boundary.
+        """
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None:
+            raise KeyError(f"unknown address: {envelope.dst}")
+        self._sim.post_at(deliver_at, lambda: endpoint.deliver(envelope))
 
     # ------------------------------------------------------------------
     # Sending
@@ -171,12 +260,23 @@ class Network:
         endpoints = self._endpoints
         src_ep = endpoints.get(envelope.src)
         dst_ep = endpoints.get(envelope.dst)
-        if src_ep is None or dst_ep is None:
-            missing = envelope.src if src_ep is None else envelope.dst
-            raise KeyError(f"unknown address: {missing}")
+        if src_ep is None:
+            raise KeyError(f"unknown address: {envelope.src}")
+        if dst_ep is not None:
+            dst_dc = dst_ep.dc_id
+        else:
+            # With shard routing on, a missing destination endpoint is the
+            # normal cross-shard case: the DC id comes from the address
+            # itself and the delivery is buffered rather than scheduled.
+            local = self._local_dcs
+            try:
+                dst_dc = dc_of_address(envelope.dst) if local is not None else -1
+            except ValueError:
+                dst_dc = -1
+            if local is None or dst_dc < 0 or dst_dc in local:
+                raise KeyError(f"unknown address: {envelope.dst}")
         envelope.send_time = self._sim.now
         src_dc = src_ep.dc_id
-        dst_dc = dst_ep.dc_id
         if src_dc == dst_dc:
             # Same-DC fast path: never partitioned, and the delay is always
             # the constant LAN latency — never a jitter draw — so enabling
@@ -202,7 +302,9 @@ class Network:
             return
         self._schedule_delivery(envelope, src_dc, dst_dc)
 
-    def _deliver_after(self, envelope: Envelope, delay: float, endpoint: _Endpoint) -> None:
+    def _deliver_after(
+        self, envelope: Envelope, delay: float, endpoint: Optional[_Endpoint]
+    ) -> None:
         sim = self._sim
         link = (envelope.src, envelope.dst)
         link_clock = self._link_clock
@@ -211,22 +313,28 @@ class Network:
         if floor is not None and deliver_at < floor + _FIFO_EPSILON:
             deliver_at = floor + _FIFO_EPSILON
         link_clock[link] = deliver_at
+        if endpoint is None:
+            # Cross-shard destination: the delivery time is final (it embeds
+            # every sender-side delay component), so the receiving shard can
+            # schedule it verbatim after the next barrier exchange.
+            self._outbox.append((deliver_at, envelope))
+            return
         sim.post_at(deliver_at, lambda: endpoint.deliver(envelope))
 
     def _schedule_delivery(self, envelope: Envelope, src_dc: int, dst_dc: int) -> None:
-        delay = self._latency.sample(self._rng, src_dc, dst_dc)
+        delay = self._latency.sample(self._jitter_rngs[src_dc], src_dc, dst_dc)
         if self._degraded:
             degradation = self._degraded.get(frozenset((src_dc, dst_dc)))
             if degradation is not None:
                 extra, loss = degradation
                 delay += extra
                 if loss > 0.0:
-                    loss_rng = self._loss_rng
+                    loss_rng = self._loss_rngs[src_dc]
                     for _ in range(_MAX_RETRANSMITS):
                         if loss_rng.random() >= loss:
                             break
                         delay += RETRANSMIT_TIMEOUT
-        endpoint = self._endpoints[envelope.dst]
+        endpoint = self._endpoints.get(envelope.dst)
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(
@@ -273,7 +381,8 @@ class Network:
         ``extra_latency`` seconds are added to every one-way delivery between
         the two DCs; with probability ``loss`` each transmission is lost and
         retried after :data:`RETRANSMIT_TIMEOUT` (drawn per attempt from the
-        dedicated ``network.loss`` stream).  FIFO order is preserved — a
+        sender DC's dedicated ``network.loss.d<src>`` stream).  FIFO order
+        is preserved — a
         retransmitted envelope still blocks later sends on its link, exactly
         as TCP head-of-line blocking would.  Intra-DC links cannot be
         degraded: the fault model targets the WAN.
@@ -308,8 +417,8 @@ class Network:
     def _release_held(self) -> None:
         still_held: Dict[Tuple[Address, Address], List[Envelope]] = {}
         for link, envelopes in self._held.items():
-            src_dc = self._endpoints[link[0]].dc_id
-            dst_dc = self._endpoints[link[1]].dc_id
+            src_dc = self.dc_of(link[0])
+            dst_dc = self.dc_of(link[1])
             if self.is_partitioned(src_dc, dst_dc):
                 still_held[link] = envelopes
                 continue

@@ -62,11 +62,14 @@ class SessionDriver:
         generator: WorkloadGenerator,
         stats: SessionStats,
         arrival: Optional[ArrivalSchedule] = None,
+        initial_delay: float = 0.0,
     ) -> None:
         self.client = client
         self.generator = generator
         self.stats = stats
         self.arrival = arrival if arrival is not None else generator.profile.arrival
+        #: Sub-microsecond per-session start stagger (see deploy_sessions).
+        self.initial_delay = initial_delay
         self.transactions_run = 0
         #: Set by :meth:`halt`; the loop exits between transactions.
         self.halted = False
@@ -87,6 +90,8 @@ class SessionDriver:
 
     def _loop(self):
         sim = self.client.sim
+        if self.initial_delay > 0.0:
+            yield sim.timeout(self.initial_delay)
         while not self.halted:
             delay = self.arrival.delay(sim.now)
             if delay > 0.0:
